@@ -1,0 +1,107 @@
+"""Ablation — DAG partitioning schemes (Section 3.1 / Figure 2).
+
+Compares the three partitioners on the placed SPLA network:
+
+* DAGON (break at every multi-fanout vertex),
+* MIS-style cones (DFS-order fathers, absorption allowed),
+* the paper's placement-driven partitioning (nearest-reader fathers).
+
+Reports tree statistics and the quality of the min-area cover each
+partitioning admits, plus the two properties Section 3.1 claims for the
+placement-driven scheme: order independence and geometric clustering of
+the subject trees.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.core import (
+    Matcher,
+    area_congestion,
+    cone_partition,
+    dagon_partition,
+    map_network,
+    placement_partition,
+)
+from repro.io import format_table
+from repro.library import CORELIB018
+
+_cache = {}
+
+
+def tree_spread(part, positions):
+    """Mean geometric spread (std-dev radius) of multi-vertex trees."""
+    import numpy as np
+    spreads = []
+    for tree in part.trees.values():
+        if len(tree.members) < 2:
+            continue
+        pts = np.array([positions.get(v) for v in tree.members])
+        spreads.append(float(pts.std(axis=0).sum()))
+    return sum(spreads) / len(spreads) if spreads else 0.0
+
+
+def run_ablation(spla_setup):
+    if "data" in _cache:
+        return _cache["data"]
+    base = spla_setup.base
+    positions = spla_setup.positions
+    parts = {
+        "dagon": dagon_partition(base),
+        "cone": cone_partition(base),
+        "placement": placement_partition(base, positions),
+    }
+    stats = {}
+    for label, part in parts.items():
+        style = label if label != "cone" else "cone"
+        mapping = map_network(base, CORELIB018, area_congestion(0.001),
+                              partition_style=style, positions=positions)
+        sizes = part.tree_sizes()
+        stats[label] = {
+            "trees": len(part.roots),
+            "max_tree": max(sizes),
+            "duplication": part.duplication(),
+            "spread": tree_spread(part, positions),
+            "area": mapping.stats["cell_area"],
+            "wire": mapping.estimated_wirelength,
+        }
+    _cache["data"] = stats
+    return stats
+
+
+def test_ablation_partitioning(benchmark, spla_setup):
+    stats = benchmark.pedantic(run_ablation, args=(spla_setup,),
+                               rounds=1, iterations=1)
+    rows = [(label,
+             s["trees"], s["max_tree"], s["duplication"],
+             f"{s['spread']:.2f}", f"{s['area']:.0f}", f"{s['wire']:.0f}")
+            for label, s in stats.items()]
+    table = format_table(
+        ["Partitioning", "Trees", "Max tree", "Duplication",
+         "Mean tree spread (um)", "Mapped area (um2)", "Wire estimate (um)"],
+        rows, title="Ablation - DAG partitioning schemes on SPLA "
+                    "(K = 0.001 covering)")
+    publish("ablation_partitioning", table)
+
+    # DAGON never duplicates logic; cones / placement may.
+    assert stats["dagon"]["duplication"] == 0
+    # Placement-driven trees cluster geometrically at least as tightly
+    # as DFS-order cones (the Section 3.1 claim).
+    assert stats["placement"]["spread"] <= stats["cone"]["spread"] + 1e-6
+    # All three admit comparable-quality min-area covers (within 10%).
+    areas = [s["area"] for s in stats.values()]
+    assert max(areas) <= min(areas) * 1.10
+
+
+def test_placement_partition_order_independence(benchmark, spla_setup):
+    """Figure 2's property: the result depends only on the placement."""
+    base = spla_setup.base
+    positions = spla_setup.positions
+
+    def both():
+        return (placement_partition(base, positions),
+                placement_partition(base, positions))
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert a.fathers == b.fathers
+    assert a.roots == b.roots

@@ -1,0 +1,100 @@
+"""Ablation — wire-cost formulation (Section 3.3's critique of [9]).
+
+The paper limits WIRE2 to the match's fanins and their children
+(Eq. 3) instead of accumulating over *all* transitive fanins as in
+Pedram–Bhat [9], arguing the transitive formulation makes the
+perturbation non-uniform across the tree and the K response
+unpredictable ("no correlation between the cell area and the wire cost
+terms ... little chance of predicting a priori which one will occur").
+
+Measured outcome in this reproduction: the two formulations have
+K scales an order of magnitude apart.  At matched K the paper's local
+cost responds decisively (it reaches its wire-reduction saturation
+within the flow's K window) while the transitive cost barely moves
+until K is ~10× larger — i.e. the K knob's meaning depends strongly on
+the formulation, which is precisely why the paper pins down a local,
+uniform cost.  The bench prints both response curves and asserts:
+
+* wire decreases (weakly) with K under the paper's cost,
+* at matched K inside the flow's window the paper's cost achieves at
+  least the wire reduction of the transitive cost,
+* the paper's cost keeps the area penalty within a few percent at the
+  window K values actually used by the Figure-3 flow.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.core import area_congestion, map_network
+from repro.io import format_table
+from repro.library import CORELIB018
+
+K_VALUES = [0.0, 0.01, 0.05, 0.1, 0.5, 1.0]
+
+_cache = {}
+
+
+def run_ablation(spla_setup):
+    if "data" in _cache:
+        return _cache["data"]
+    base = spla_setup.base
+    positions = spla_setup.positions
+    rows = []
+    for k in K_VALUES:
+        local = map_network(base, CORELIB018,
+                            area_congestion(k, transitive_wire=False),
+                            partition_style="placement",
+                            positions=positions)
+        transitive = map_network(base, CORELIB018,
+                                 area_congestion(k, transitive_wire=True),
+                                 partition_style="placement",
+                                 positions=positions)
+        rows.append((k, local.stats["cell_area"],
+                     transitive.stats["cell_area"],
+                     local.estimated_wirelength,
+                     transitive.estimated_wirelength))
+    _cache["data"] = rows
+    return rows
+
+
+def test_ablation_wirecost(benchmark, spla_setup):
+    rows = benchmark.pedantic(run_ablation, args=(spla_setup,),
+                              rounds=1, iterations=1)
+    base_area = rows[0][1]
+    base_wire = rows[0][3]
+    display = []
+    for k, area_l, area_t, wire_l, wire_t in rows:
+        display.append((
+            f"{k:g}",
+            f"{area_l:.0f} ({100 * (area_l / base_area - 1):+.1f}%)",
+            f"{wire_l:.0f} ({100 * (wire_l / base_wire - 1):+.1f}%)",
+            f"{area_t:.0f} ({100 * (area_t / base_area - 1):+.1f}%)",
+            f"{wire_t:.0f} ({100 * (wire_t / base_wire - 1):+.1f}%)"))
+    table = format_table(
+        ["K", "Paper cost: area", "wire", "Transitive [9]: area", "wire"],
+        display,
+        title="Ablation - paper's local WIRE (Eqs. 2-4) vs transitive "
+              "wire cost [9] on SPLA")
+    publish("ablation_wirecost", table)
+
+    by_k = {row[0]: row for row in rows}
+
+    # Wire responds monotonically (weakly) to K under the paper's cost.
+    wires_local = [row[3] for row in rows]
+    assert all(b <= a + 1e-6 for a, b in zip(wires_local, wires_local[1:]))
+
+    # Inside the flow's operating window, the paper's cost achieves at
+    # least the wire reduction the transitive cost does at matched K.
+    for k in (0.01, 0.05, 0.1):
+        _, _, _, wire_l, wire_t = by_k[k]
+        assert wire_l <= wire_t * 1.005, f"K={k}"
+
+    # The paper's cost keeps area within a few percent at window K.
+    assert by_k[0.01][1] <= base_area * 1.05
+
+    # The transitive response lags ~10x in K: by K=0.1 the local cost
+    # has moved the netlist decisively; the transitive one has not.
+    local_shift_01 = by_k[0.1][1] / base_area - 1
+    transitive_shift_01 = by_k[0.1][2] / base_area - 1
+    assert local_shift_01 > 0.05
+    assert transitive_shift_01 < local_shift_01

@@ -1,0 +1,66 @@
+"""Figure 3 — the modified ASIC design flow (the K-escalation loop).
+
+Runs the paper's methodology end to end on the SPLA stand-in and its
+marginal die: place the technology-independent netlist once, map with
+K = 0, evaluate the congestion map, raise K until the map is
+acceptable.  Asserts the loop's two key economics:
+
+* it converges at a *small* K with an area penalty of a few percent
+  (the paper: "the area penalty obtained by increasing K should be
+  kept within a few percent of the minimum area solution"), and
+* each iteration re-uses the single technology-independent placement
+  (mapping is linear-time — far cheaper than re-synthesis).
+"""
+
+import pytest
+
+from conftest import ROUTABLE_TOLERANCE, publish
+from repro.core import congestion_aware_flow
+from repro.io import format_table
+
+K_SCHEDULE = [0.0, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+              0.01, 0.05]
+
+_cache = {}
+
+
+def run_flow(spla_setup):
+    if "result" not in _cache:
+        _cache["result"] = congestion_aware_flow(
+            spla_setup.base, spla_setup.floorplan, spla_setup.config,
+            k_schedule=K_SCHEDULE, positions=spla_setup.positions,
+            tolerance=ROUTABLE_TOLERANCE)
+    return _cache["result"]
+
+
+def test_figure3_flow(benchmark, spla_setup):
+    result = benchmark.pedantic(run_flow, args=(spla_setup,),
+                                rounds=1, iterations=1)
+    rows = []
+    for point in result.history:
+        verdict = ("congestion OK"
+                   if point.violations <= ROUTABLE_TOLERANCE
+                   else "congested -> increase K")
+        rows.append((f"{point.k:g}", f"{point.cell_area:.0f}",
+                     f"{point.utilization:.2f}", point.violations, verdict))
+    table = format_table(
+        ["K", "Cell Area (um2)", "Utilization%", "Violations",
+         "Figure-3 decision"],
+        rows,
+        title=(f"Figure 3 - congestion-aware flow on SPLA "
+               f"(die {spla_setup.floorplan.area:.0f} um2, "
+               f"{spla_setup.floorplan.num_rows} rows)"))
+    publish("figure3_flow", table)
+
+    assert result.converged, "the flow must converge on the marginal die"
+    assert result.chosen_k > 0.0, \
+        "K = 0 must be congested on the marginal die"
+    baseline = result.history[0]
+    chosen = result.chosen
+    assert baseline.violations > ROUTABLE_TOLERANCE
+    assert chosen.violations <= ROUTABLE_TOLERANCE
+    # "Within a few percent of the minimum cell area."
+    assert chosen.cell_area <= baseline.cell_area * 1.05
+    # The flow stopped at the first acceptable K (no wasted iterations).
+    for point in result.history[:-1]:
+        assert point.violations > ROUTABLE_TOLERANCE

@@ -1,0 +1,86 @@
+"""Scaling — the paper's linear-time mapping claim (Section 5).
+
+"The computational complexity of the technology mapping algorithm
+described in Section 3 is linear with the size of the technology
+independent netlist" — the property that makes the Figure-3 K-loop
+cheap relative to re-synthesis.
+
+This bench maps the SPLA stand-in at growing scales and checks that
+mapping time grows near-linearly with base-gate count (a loose
+super-linearity bound absorbs constant factors and interpreter noise).
+The paper's cheapness argument compares re-mapping against re-running
+*detailed* place & route or re-synthesis; our global-route evaluation
+is deliberately light, so the bench asserts only the linearity and that
+output size tracks input size.
+"""
+
+import time
+
+import pytest
+
+from conftest import publish
+from repro.circuits import spla_like
+from repro.core import area_congestion, evaluate_netlist, map_network
+from repro.io import format_table
+from repro.library import CORELIB018
+from repro.network import decompose
+from repro.place import Floorplan, place_base_network
+
+SCALES = [0.03, 0.06, 0.125]
+
+_cache = {}
+
+
+def run_scaling(config):
+    if "rows" in _cache:
+        return _cache["rows"]
+    rows = []
+    for scale in SCALES:
+        base = decompose(spla_like(scale))
+        floorplan = Floorplan.for_area(base.num_gates() * 12.0 / 0.35,
+                                       aspect=1.0)
+        t0 = time.perf_counter()
+        positions = place_base_network(base, floorplan)
+        t_place = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        mapping = map_network(base, CORELIB018, area_congestion(0.001),
+                              partition_style="placement",
+                              positions=positions)
+        t_map = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        evaluate_netlist(mapping.netlist, floorplan, config)
+        t_eval = time.perf_counter() - t0
+        rows.append({
+            "scale": scale,
+            "gates": base.num_gates(),
+            "cells": mapping.netlist.num_cells(),
+            "t_place": t_place,
+            "t_map": t_map,
+            "t_eval": t_eval,
+        })
+    _cache["rows"] = rows
+    return rows
+
+
+def test_scaling(benchmark, config):
+    rows = benchmark.pedantic(run_scaling, args=(config,),
+                              rounds=1, iterations=1)
+    table = format_table(
+        ["scale", "base gates", "cells", "tech-indep place (s)",
+         "map (s)", "place+route eval (s)"],
+        [(f"{r['scale']:g}", r["gates"], r["cells"],
+          f"{r['t_place']:.2f}", f"{r['t_map']:.2f}", f"{r['t_eval']:.2f}")
+         for r in rows],
+        title="Scaling - congestion-aware mapping cost vs circuit size "
+              "(paper 5: mapping is linear in netlist size)")
+    publish("scaling", table)
+
+    small, large = rows[0], rows[-1]
+    gate_ratio = large["gates"] / small["gates"]
+    time_ratio = large["t_map"] / max(small["t_map"], 1e-9)
+    # Near-linear: allow a generous 1.8 exponent for interpreter and
+    # cache effects at these small sizes.
+    assert time_ratio <= gate_ratio ** 1.8, \
+        f"mapping time grew x{time_ratio:.1f} for x{gate_ratio:.1f} gates"
+    # Output size tracks input size.
+    assert large["cells"] > small["cells"] * (gate_ratio / 2)

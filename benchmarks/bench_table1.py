@@ -1,0 +1,91 @@
+"""Table 1 — TOO_LARGE routing results: SIS vs DAGON.
+
+The paper's motivating experiment: the same RTL taken through two
+flows — full SIS synthesis (aggressive technology-independent literal
+minimisation + min-area mapping) versus DAGON (min-area tree covering
+of a moderately-prepared technology-independent netlist) — then placed
+and routed in the *same* fixed die with three metal layers.
+
+Paper result: SIS yields the smaller cell area (126394 vs 129851 µm²,
+i.e. ~2.7 % less) and lower utilization — more routing resources
+available — yet it is unroutable (3673 violations) where DAGON routes
+cleanly.  "Excessive efforts in area minimization during logic
+synthesis can result in higher congestion, hence larger block area."
+
+The bench picks the die the way the paper did: a fixed die on which
+the DAGON netlist is (basically) routable and the SIS netlist is not,
+found by scanning up from the smallest plausible row count.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.core import dagon_flow, evaluate_netlist, sis_flow
+from repro.io import format_table
+from repro.library import CORELIB018
+from repro.place import Floorplan
+
+START_ROWS = 26
+MAX_ROWS = 44
+#: Violations still fixable in post-routing.  The paper itself calls
+#: rows with single-digit violation counts "basically routable".
+TOLERANCE = 9
+
+_cache = {}
+
+
+def run_table1(too_large_network, config):
+    if "data" in _cache:
+        return _cache["data"]
+    sis = sis_flow(too_large_network, CORELIB018)
+    dagon = dagon_flow(too_large_network, CORELIB018)
+
+    # The paper's construction: a fixed die on which the DAGON netlist
+    # is (basically) routable while the SIS netlist is not — found by
+    # scanning up from the smallest plausible die, exactly the "chosen
+    # demonstration die" of the paper's Table 1.
+    chosen = None
+    for rows in range(START_ROWS, MAX_ROWS + 1):
+        floorplan = Floorplan.from_rows(rows, aspect=1.0)
+        dagon_point = evaluate_netlist(dagon.netlist, floorplan, config)
+        if dagon_point.violations > TOLERANCE:
+            continue
+        sis_point = evaluate_netlist(sis.netlist, floorplan, config)
+        if sis_point.violations > TOLERANCE:
+            chosen = (floorplan, sis_point, dagon_point)
+            break
+    assert chosen is not None, \
+        "no die separates the SIS and DAGON netlists"
+    _cache["data"] = chosen
+    return _cache["data"]
+
+
+def test_table1_too_large(benchmark, too_large_network, config):
+    floorplan, sis_point, dagon_point = benchmark.pedantic(
+        run_table1, args=(too_large_network, config),
+        rounds=1, iterations=1)
+
+    rows = [
+        ("SIS", f"{sis_point.cell_area:.0f}", floorplan.num_rows,
+         f"{sis_point.utilization:.2f}", sis_point.violations),
+        ("DAGON", f"{dagon_point.cell_area:.0f}", floorplan.num_rows,
+         f"{dagon_point.utilization:.2f}", dagon_point.violations),
+    ]
+    table = format_table(
+        ["Flow", "Cell Area (um2)", "No. of Rows", "Area Utilization%",
+         "No. of Routing violations"],
+        rows,
+        title=(f"Table 1 - TOO_LARGE routing results "
+               f"(die {floorplan.area:.0f} um2, 3 metal layers; paper "
+               f"die 153915 um2: SIS 126394 um2 / 82.12% / 3673 viol, "
+               f"DAGON 129851 um2 / 84.37% / 0 viol)"))
+    publish("table1_too_large", table)
+
+    # SIS achieves the smaller cell area (and hence lower utilization,
+    # i.e. MORE routing resources available)...
+    assert sis_point.cell_area < dagon_point.cell_area
+    assert sis_point.utilization < dagon_point.utilization
+    # ...but is structurally harder to route on the die DAGON fits.
+    assert dagon_point.violations <= TOLERANCE
+    assert sis_point.violations > TOLERANCE
+    assert sis_point.violations > dagon_point.violations

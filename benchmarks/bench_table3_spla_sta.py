@@ -1,0 +1,102 @@
+"""Table 3 — SPLA static timing analysis results.
+
+The paper compares three SPLA netlists after each is grown to its first
+routable die (aspect 1): the DAGON-equivalent minimum-area mapping
+(K = 0), the congestion-aware mapping (the flow's chosen K), and the
+SIS flow.  For each it reports the critical-path arrival time, the
+arrival of the K = 0 netlist's critical endpoint in the other netlists,
+and the chip area / row count.
+
+Shape targets (paper Table 3):
+
+* the congestion-aware netlist routes in the smallest die,
+* its timing is competitive with K = 0 (the paper's improved slightly;
+  ours must stay within a small factor),
+* the SIS netlist needs the largest die of the three.
+"""
+
+import pytest
+
+from conftest import ROUTABLE_TOLERANCE, SCALE, publish
+from repro.circuits import spla_like
+from repro.core import (
+    area_congestion,
+    find_routable_die,
+    map_network,
+    sis_flow,
+    timing_of_point,
+)
+from repro.io import sta_table
+from repro.library import CORELIB018
+from repro.timing import arrival_at_output
+
+#: The chosen window K (the paper's Table 3 uses K = 0.001).
+K_STAR = 0.001
+#: Die search starts here (a few rows under the Table 2 die).
+START_ROWS = 28
+
+_cache = {}
+
+
+def run_sta(spla_setup):
+    if "data" in _cache:
+        return _cache["data"]
+    config = spla_setup.config
+    variants = {}
+    for label, k in (("K=0", 0.0), (f"K={K_STAR:g}", K_STAR)):
+        mapping = map_network(spla_setup.base, CORELIB018,
+                              area_congestion(k),
+                              partition_style="placement",
+                              positions=spla_setup.positions)
+        variants[label] = mapping
+    variants["SIS"] = sis_flow(spla_like(SCALE), CORELIB018)
+
+    results = {}
+    for label, mapping in variants.items():
+        floorplan, point = find_routable_die(
+            mapping.netlist, START_ROWS, config, max_extra_rows=14,
+            tolerance=ROUTABLE_TOLERANCE)
+        point.mapping = mapping
+        report = timing_of_point(point, config)
+        results[label] = (floorplan, point, report)
+    _cache["data"] = results
+    return results
+
+
+def test_table3_spla_sta(benchmark, spla_setup):
+    results = benchmark.pedantic(run_sta, args=(spla_setup,),
+                                 rounds=1, iterations=1)
+    ref_label = "K=0"
+    ref_report = results[ref_label][2]
+    ref_po = ref_report.critical_output
+
+    rows = []
+    for label in ("K=0", f"K={K_STAR:g}", "SIS"):
+        floorplan, point, report = results[label]
+        start, end = report.path_endpoints()
+        own = f"{start}(in) {end}(out) {report.critical_arrival:.2f}"
+        ref = (f"{ref_po}(out) "
+               f"{arrival_at_output(report, ref_po):.2f}")
+        rows.append((label, own, ref,
+                     f"{floorplan.area:.0f}", floorplan.num_rows))
+    table = sta_table(rows, title=(
+        "Table 3 - SPLA static timing analysis "
+        "(paper: K=0 17.85ns/72 rows, K=0.001 17.43ns/71 rows, "
+        "SIS 18.57ns/75 rows)"))
+    publish("table3_spla_sta", table)
+
+    fp0, _, rep0 = results["K=0"]
+    fps, _, reps = results[f"K={K_STAR:g}"]
+    fpsis, _, repsis = results["SIS"]
+
+    # The congestion-aware netlist routes in the smallest die.
+    assert fps.num_rows <= fp0.num_rows
+    assert fps.num_rows <= fpsis.num_rows
+    # Its timing stays competitive with the minimum-area netlist.
+    assert reps.critical_arrival <= rep0.critical_arrival * 1.15
+    # The K=0 critical endpoint does not get slower in the K* netlist.
+    assert arrival_at_output(reps, ref_po) <= \
+        arrival_at_output(rep0, ref_po) * 1.10
+    # The SIS netlist is worst on at least one axis (die or delay).
+    assert (fpsis.num_rows >= fps.num_rows
+            or repsis.critical_arrival >= reps.critical_arrival)

@@ -1,0 +1,93 @@
+"""Shared setup for the paper-reproduction benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.
+Circuits, base networks and layout images are built once per session
+here; the calibrated experiment dies (see EXPERIMENTS.md) are fixed so
+every run reproduces the same rows.
+
+All benches print their table (paper layout) and write it to
+``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.circuits import pdc_like, spla_like, too_large_like
+from repro.core import FlowConfig, PositionMap
+from repro.library import CORELIB018
+from repro.network import BaseNetwork, decompose
+from repro.place import Floorplan, place_base_network
+
+#: Scale factor for the IWLS-like stand-ins (1/8 of the paper's sizes;
+#: see DESIGN.md on the substitution).
+SCALE = 0.125
+
+#: Calibrated marginal dies: the largest row counts at which the K = 0
+#: (DAGON-equivalent) mapping is still unroutable — the same "fixed die
+#: the baseline cannot route" construction the paper uses (its SPLA die
+#: was one row short of what DAGON needed).
+SPLA_ROWS = 30
+PDC_ROWS = 32
+
+#: The violation count still considered fixable in post-routing; the
+#: paper explicitly treats its 2- and 9-violation rows as routable.
+ROUTABLE_TOLERANCE = 3
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@dataclass
+class BenchSetup:
+    """Everything a table bench needs for one circuit."""
+
+    name: str
+    base: BaseNetwork
+    floorplan: Floorplan
+    positions: PositionMap
+    config: FlowConfig
+
+
+def _setup(name: str, network, rows: int) -> BenchSetup:
+    base = decompose(network)
+    floorplan = Floorplan.from_rows(rows, aspect=1.0)
+    config = FlowConfig(library=CORELIB018)
+    positions = place_base_network(base, floorplan, seed=config.seed)
+    return BenchSetup(name=name, base=base, floorplan=floorplan,
+                      positions=positions, config=config)
+
+
+@pytest.fixture(scope="session")
+def spla_setup() -> BenchSetup:
+    """SPLA stand-in on its calibrated marginal die."""
+    return _setup("SPLA", spla_like(SCALE), SPLA_ROWS)
+
+
+@pytest.fixture(scope="session")
+def pdc_setup() -> BenchSetup:
+    """PDC stand-in on its calibrated marginal die."""
+    return _setup("PDC", pdc_like(SCALE), PDC_ROWS)
+
+
+@pytest.fixture(scope="session")
+def too_large_network():
+    """The TOO_LARGE stand-in (Table 1 builds its own flows)."""
+    return too_large_like(SCALE)
+
+
+@pytest.fixture(scope="session")
+def config() -> FlowConfig:
+    """Default flow configuration."""
+    return FlowConfig(library=CORELIB018)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a bench's table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")

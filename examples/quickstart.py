@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: synthesize, map and evaluate a small circuit.
+
+Walks the whole library surface in one sitting:
+
+1. build a circuit (a ripple-carry adder),
+2. optimize it (SIS-style technology-independent synthesis),
+3. decompose to NAND2/INV base gates and place the layout image,
+4. map it with the congestion-aware mapper at a couple of K values,
+5. place, globally route and time each mapping.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuits import ripple_carry_adder
+from repro.core import (
+    FlowConfig,
+    area_congestion,
+    evaluate_netlist,
+    map_network,
+    timing_of_point,
+)
+from repro.library import CORELIB018
+from repro.network import check_base_vs_mapped, decompose
+from repro.place import Floorplan, place_base_network
+from repro.synth import optimize
+
+
+def main() -> None:
+    # 1. A 16-bit ripple-carry adder as a Boolean network.
+    network = ripple_carry_adder(16)
+    print(f"circuit : {network}")
+
+    # 2. Technology-independent optimization (literal minimisation).
+    report = optimize(network, effort="standard")
+    print(f"synth   : {report.literals_before} -> {report.literals_after} "
+          f"literals in {report.nodes_after} nodes")
+
+    # 3. Decompose to base gates and place the layout image.
+    base = decompose(network)
+    print(f"decomp  : {base}")
+    mapping_probe = map_network(base, CORELIB018)
+    floorplan = Floorplan.for_area(
+        mapping_probe.stats["cell_area"] / 0.45, aspect=1.0)
+    positions = place_base_network(base, floorplan)
+    print(f"die     : {floorplan.area:.0f} um2, {floorplan.num_rows} rows")
+
+    # 4 + 5. Map at two K values and push each through place & route.
+    config = FlowConfig(library=CORELIB018)
+    for k in (0.0, 0.005):
+        mapping = map_network(base, CORELIB018, area_congestion(k),
+                              partition_style="placement",
+                              positions=positions)
+        check_base_vs_mapped(base, mapping.netlist, CORELIB018)
+        point = evaluate_netlist(mapping.netlist, floorplan, config, k=k)
+        point.mapping = mapping
+        timing = timing_of_point(point, config)
+        print(f"K={k:<6g}: {mapping.netlist.num_cells()} cells, "
+              f"{point.cell_area:.0f} um2 "
+              f"({point.utilization:.1f}% util), "
+              f"{point.violations} violations, "
+              f"wirelength {point.routed_wirelength:.0f} um, "
+              f"critical path {timing.describe_critical()}")
+
+
+if __name__ == "__main__":
+    main()

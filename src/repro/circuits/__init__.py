@@ -1,0 +1,35 @@
+"""Benchmark circuits: PLA format, generators, IWLS93-like stand-ins."""
+
+from .arithmetic import array_multiplier, comparator, mux_tree, ripple_carry_adder
+from .generators import random_logic_network, random_pla
+from .iwls_like import (
+    DEFAULT_SCALE,
+    PDC_PROFILE,
+    SPLA_PROFILE,
+    TOO_LARGE_PROFILE,
+    benchmark,
+    pdc_like,
+    spla_like,
+    too_large_like,
+)
+from .pla import Pla, dump_pla, parse_pla
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "PDC_PROFILE",
+    "Pla",
+    "SPLA_PROFILE",
+    "TOO_LARGE_PROFILE",
+    "array_multiplier",
+    "benchmark",
+    "comparator",
+    "dump_pla",
+    "mux_tree",
+    "parse_pla",
+    "pdc_like",
+    "random_logic_network",
+    "random_pla",
+    "ripple_carry_adder",
+    "spla_like",
+    "too_large_like",
+]

@@ -1,0 +1,158 @@
+"""Arithmetic circuit constructors (examples and extra workloads).
+
+Classic datapath blocks built directly as Boolean networks: ripple
+adders, array multipliers, comparators and mux trees.  These exercise
+the full flow on structured (non-PLA) logic and back the example
+scripts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import NetworkError
+from ..network.boolnet import BooleanNetwork
+from ..network.sop import Sop
+from ..network.cubes import lit
+
+
+def _xor(network: BooleanNetwork, name: str, a: str, b: str) -> str:
+    network.add_node(name, Sop.from_cubes([
+        [lit(a, True), lit(b, False)],
+        [lit(a, False), lit(b, True)],
+    ]))
+    return name
+
+
+def _maj(network: BooleanNetwork, name: str, a: str, b: str, c: str) -> str:
+    network.add_node(name, Sop.from_cubes([
+        [lit(a, True), lit(b, True)],
+        [lit(a, True), lit(c, True)],
+        [lit(b, True), lit(c, True)],
+    ]))
+    return name
+
+
+def _and(network: BooleanNetwork, name: str, a: str, b: str) -> str:
+    network.add_node(name, Sop.from_cubes([[lit(a, True), lit(b, True)]]))
+    return name
+
+
+def ripple_carry_adder(width: int, name: str = "rca") -> BooleanNetwork:
+    """An n-bit ripple-carry adder: inputs a*, b*, cin; outputs s*, cout."""
+    if width < 1:
+        raise NetworkError("adder width must be >= 1")
+    network = BooleanNetwork(f"{name}{width}")
+    a = [network.add_input(f"a{k}") for k in range(width)]
+    b = [network.add_input(f"b{k}") for k in range(width)]
+    carry = network.add_input("cin")
+    for k in range(width):
+        p = _xor(network, f"p{k}", a[k], b[k])
+        _xor(network, f"s{k}", p, carry)
+        carry = _maj(network, f"c{k}", a[k], b[k], carry)
+        network.add_output(f"s{k}")
+    network.add_output(carry)
+    return network
+
+
+def array_multiplier(width: int, name: str = "mul") -> BooleanNetwork:
+    """An n×n array multiplier; outputs m0..m(2n-1)."""
+    if width < 1:
+        raise NetworkError("multiplier width must be >= 1")
+    network = BooleanNetwork(f"{name}{width}")
+    a = [network.add_input(f"a{k}") for k in range(width)]
+    b = [network.add_input(f"b{k}") for k in range(width)]
+    # Partial products.
+    pp: List[List[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            pp[i + j].append(_and(network, f"pp_{i}_{j}", a[i], b[j]))
+    # Carry-save reduction with full/half adders.
+    uid = [0]
+
+    def full_adder(x: str, y: str, z: str) -> Tuple[str, str]:
+        uid[0] += 1
+        t = _xor(network, f"fx{uid[0]}", x, y)
+        s = _xor(network, f"fs{uid[0]}", t, z)
+        c = _maj(network, f"fc{uid[0]}", x, y, z)
+        return s, c
+
+    def half_adder(x: str, y: str) -> Tuple[str, str]:
+        uid[0] += 1
+        s = _xor(network, f"hs{uid[0]}", x, y)
+        c = _and(network, f"hc{uid[0]}", x, y)
+        return s, c
+
+    for column in range(2 * width):
+        while len(pp[column]) > 1:
+            if len(pp[column]) >= 3:
+                x, y, z = pp[column][:3]
+                pp[column] = pp[column][3:]
+                s, c = full_adder(x, y, z)
+            else:
+                x, y = pp[column][:2]
+                pp[column] = pp[column][2:]
+                s, c = half_adder(x, y)
+            pp[column].append(s)
+            if column + 1 < 2 * width:
+                pp[column + 1].append(c)
+        bit = pp[column][0] if pp[column] else None
+        out = f"m{column}"
+        if bit is None:
+            # Top column can be empty for width 1.
+            network.add_node(out, Sop.zero())
+        else:
+            network.add_node(out, Sop.literal(bit))
+        network.add_output(out)
+    return network
+
+
+def comparator(width: int, name: str = "cmp") -> BooleanNetwork:
+    """n-bit equality and greater-than comparator (outputs eq, gt)."""
+    if width < 1:
+        raise NetworkError("comparator width must be >= 1")
+    network = BooleanNetwork(f"{name}{width}")
+    a = [network.add_input(f"a{k}") for k in range(width)]
+    b = [network.add_input(f"b{k}") for k in range(width)]
+    eq_terms: List[str] = []
+    for k in range(width):
+        network.add_node(f"eq{k}", Sop.from_cubes([
+            [lit(a[k], True), lit(b[k], True)],
+            [lit(a[k], False), lit(b[k], False)],
+        ]))
+        eq_terms.append(f"eq{k}")
+    network.add_node("eq", Sop.from_cubes([[lit(t, True) for t in eq_terms]]))
+    network.add_output("eq")
+    # gt: first (most significant) position where a=1, b=0 and all higher equal.
+    gt_cubes = []
+    for k in range(width - 1, -1, -1):
+        lits = [lit(a[k], True), lit(b[k], False)]
+        lits += [lit(eq_terms[j], True) for j in range(k + 1, width)]
+        gt_cubes.append(lits)
+    network.add_node("gt", Sop.from_cubes(gt_cubes))
+    network.add_output("gt")
+    return network
+
+
+def mux_tree(select_bits: int, name: str = "mux") -> BooleanNetwork:
+    """A 2^k-to-1 multiplexer tree (inputs d*, s*; output y)."""
+    if select_bits < 1:
+        raise NetworkError("mux needs at least one select bit")
+    network = BooleanNetwork(f"{name}{select_bits}")
+    data = [network.add_input(f"d{k}") for k in range(1 << select_bits)]
+    sel = [network.add_input(f"s{k}") for k in range(select_bits)]
+    level = data
+    for s in range(select_bits):
+        nxt: List[str] = []
+        for pair in range(len(level) // 2):
+            lo, hi = level[2 * pair], level[2 * pair + 1]
+            node = f"x{s}_{pair}"
+            network.add_node(node, Sop.from_cubes([
+                [lit(lo, True), lit(sel[s], False)],
+                [lit(hi, True), lit(sel[s], True)],
+            ]))
+            nxt.append(node)
+        level = nxt
+    network.add_node("y", Sop.literal(level[0]))
+    network.add_output("y")
+    return network

@@ -1,0 +1,109 @@
+"""Seeded synthetic circuit generators.
+
+The IWLS93 benchmark files are not redistributable here, so the
+benchmarks are *generated*: random PLAs whose structural profile
+(input/output counts, product-term width, cross-output sharing) matches
+the circuit class of the paper's benchmarks, plus random multi-level
+logic for tests.  Everything is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from ..network.boolnet import BooleanNetwork
+from ..network.sop import Sop
+from .pla import Pla
+
+
+def random_pla(name: str, num_inputs: int, num_outputs: int,
+               num_products: int, literals: Tuple[int, int] = (4, 9),
+               outputs_per_product: Tuple[int, int] = (1, 4),
+               groups: int = 1, input_window: Optional[int] = None,
+               seed: int = 0) -> Pla:
+    """A random PLA with controlled sharing and locality.
+
+    ``literals`` bounds the input literals per product;
+    ``outputs_per_product`` bounds how many outputs each product feeds —
+    the knob that creates the shared, high-fanout product terms whose
+    wiring the paper's congestion argument hinges on.
+
+    ``groups > 1`` adds the cluster structure real control-logic PLAs
+    have: outputs are divided into contiguous groups, each product
+    belongs to one group (feeding only that group's outputs), and each
+    group reads a contiguous window of ``input_window`` inputs
+    (overlapping with its neighbours').  More groups / narrower windows
+    ⇒ more placeable; ``groups=1`` is the fully global flat PLA.
+    """
+    rng = random.Random(seed)
+    inputs = [f"i{k}" for k in range(num_inputs)]
+    outputs = [f"o{k}" for k in range(num_outputs)]
+    pla = Pla(name=name, inputs=inputs, outputs=outputs)
+    groups = max(1, min(groups, num_outputs))
+    window = input_window if input_window is not None else num_inputs
+    window = max(2, min(window, num_inputs))
+    # Contiguous output ranges per group.
+    bounds = [round(g * num_outputs / groups) for g in range(groups + 1)]
+    group_outputs = [list(range(bounds[g], bounds[g + 1]))
+                     for g in range(groups)]
+    group_outputs = [g or [0] for g in group_outputs]
+    # Overlapping input windows (wrap around).
+    stride = num_inputs / groups if groups > 1 else 0
+    group_inputs = []
+    for g in range(groups):
+        start = int(round(g * stride)) % num_inputs
+        group_inputs.append([(start + j) % num_inputs for j in range(window)])
+    for p in range(num_products):
+        g = p % groups
+        pool = group_inputs[g]
+        width = min(rng.randint(*literals), len(pool))
+        vars_ = rng.sample(pool, width)
+        input_part = ["-"] * num_inputs
+        for v in vars_:
+            input_part[v] = rng.choice("01")
+        outs_pool = group_outputs[g]
+        count = min(rng.randint(*outputs_per_product), len(outs_pool))
+        outs = rng.sample(outs_pool, count)
+        output_part = ["0"] * num_outputs
+        for o in outs:
+            output_part[o] = "1"
+        pla.add_product("".join(input_part), "".join(output_part))
+    # Guarantee every output has at least one product.
+    for o in range(num_outputs):
+        if not any(out[o] == "1" for _, out in pla.products):
+            input_part, output_part = pla.products[rng.randrange(len(pla.products))]
+            fixed = output_part[:o] + "1" + output_part[o + 1:]
+            idx = pla.products.index((input_part, output_part))
+            pla.products[idx] = (input_part, fixed)
+    return pla
+
+
+def random_logic_network(name: str, num_inputs: int, num_nodes: int,
+                         num_outputs: int, cubes: Tuple[int, int] = (2, 4),
+                         cube_width: Tuple[int, int] = (2, 3),
+                         locality: int = 12, seed: int = 0) -> BooleanNetwork:
+    """A random multi-level network for tests and small experiments.
+
+    ``locality`` bounds how far back a node's fanins reach in creation
+    order, giving the network realistic (non-global) structure.
+    """
+    rng = random.Random(seed)
+    network = BooleanNetwork(name)
+    signals = [network.add_input(f"i{k}") for k in range(num_inputs)]
+    for j in range(num_nodes):
+        pool = signals[-locality:] if len(signals) > locality else signals
+        cube_list = []
+        for _ in range(rng.randint(*cubes)):
+            width = min(rng.randint(*cube_width), len(pool))
+            chosen = rng.sample(pool, width)
+            cube_list.append([(s, rng.random() < 0.6) for s in chosen])
+        node = network.add_node(f"g{j}", Sop.from_cubes(cube_list))
+        signals.append(node.name)
+    node_names = [s for s in signals if s.startswith("g")]
+    chosen = node_names[-num_outputs:] if len(node_names) >= num_outputs \
+        else node_names
+    for name_ in chosen:
+        network.add_output(name_)
+    network.remove_dangling()
+    return network

@@ -1,0 +1,111 @@
+"""IWLS93-like benchmark stand-ins: SPLA, PDC, TOO_LARGE.
+
+The paper's circuits are PLAs from the IWLS93 suite (SPLA: 22,834 base
+gates; PDC: 23,058; TOO_LARGE: 27,977 after two-input decomposition).
+The originals are not redistributable here, so these constructors
+generate seeded random PLAs with the same *structural profile* — wide
+product terms over a modest input count, shared across many outputs —
+scaled down by default to ``scale = 0.125`` so the pure-Python place &
+route fits an interactive budget.  ``scale = 1.0`` reproduces the
+paper-size circuits (slow).
+
+The congestion phenomenology the paper studies lives in this structure
+(shared product terms become high-fanout nodes; aggressive literal
+minimisation increases sharing further), not in the specific truth
+tables, so the K-sweep behaviour survives the substitution; see
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..network.boolnet import BooleanNetwork
+from .generators import random_pla
+from .pla import Pla
+
+DEFAULT_SCALE = 0.125
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generator parameters for one paper circuit at scale 1.0."""
+
+    name: str
+    paper_base_gates: int
+    num_inputs: int
+    num_outputs: int
+    num_products: int
+    literals: Tuple[int, int]
+    outputs_per_product: Tuple[int, int]
+    seed: int
+    groups: int = 8
+    input_window: int = 10
+
+
+#: Profiles calibrated so decomposition lands close to the paper's
+#: base-gate counts at scale 1.0.
+SPLA_PROFILE = BenchmarkProfile(
+    name="spla_like", paper_base_gates=22_834, num_inputs=16,
+    num_outputs=46, num_products=1460, literals=(5, 11),
+    outputs_per_product=(1, 4), seed=16_993, groups=10, input_window=9)
+PDC_PROFILE = BenchmarkProfile(
+    name="pdc_like", paper_base_gates=23_058, num_inputs=16,
+    num_outputs=40, num_products=1420, literals=(5, 12),
+    outputs_per_product=(1, 5), seed=40_993, groups=8, input_window=10)
+TOO_LARGE_PROFILE = BenchmarkProfile(
+    name="too_large_like", paper_base_gates=27_977, num_inputs=38,
+    num_outputs=17, num_products=1550, literals=(6, 13),
+    outputs_per_product=(1, 3), seed=38_993, groups=8, input_window=16)
+
+
+def _scaled_pla(profile: BenchmarkProfile, scale: float) -> Pla:
+    """Generate the profile's PLA at a given size scale."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    products = max(8, round(profile.num_products * scale))
+    outputs = max(2, round(profile.num_outputs * math.sqrt(scale)))
+    groups = max(2, round(profile.groups * math.sqrt(scale))) \
+        if profile.groups > 1 else 1
+    return random_pla(
+        name=f"{profile.name}_s{scale:g}",
+        num_inputs=profile.num_inputs,
+        num_outputs=outputs,
+        num_products=products,
+        literals=profile.literals,
+        outputs_per_product=(
+            profile.outputs_per_product[0],
+            min(profile.outputs_per_product[1], outputs)),
+        groups=min(groups, outputs),
+        input_window=profile.input_window,
+        seed=profile.seed)
+
+
+def spla_like(scale: float = DEFAULT_SCALE) -> BooleanNetwork:
+    """The SPLA stand-in as a two-level Boolean network."""
+    return _scaled_pla(SPLA_PROFILE, scale).to_network()
+
+
+def pdc_like(scale: float = DEFAULT_SCALE) -> BooleanNetwork:
+    """The PDC stand-in as a two-level Boolean network."""
+    return _scaled_pla(PDC_PROFILE, scale).to_network()
+
+
+def too_large_like(scale: float = DEFAULT_SCALE) -> BooleanNetwork:
+    """The TOO_LARGE stand-in as a two-level Boolean network."""
+    return _scaled_pla(TOO_LARGE_PROFILE, scale).to_network()
+
+
+def benchmark(name: str, scale: float = DEFAULT_SCALE) -> BooleanNetwork:
+    """Look up a stand-in by (case-insensitive) paper name."""
+    table = {
+        "spla": spla_like,
+        "pdc": pdc_like,
+        "too_large": too_large_like,
+    }
+    key = name.lower().removesuffix("_like")
+    if key not in table:
+        raise KeyError(f"unknown benchmark {name!r}; have {sorted(table)}")
+    return table[key](scale)

@@ -1,0 +1,147 @@
+"""PLA (two-level) circuit representation and the Espresso .pla format.
+
+SPLA and PDC — the paper's benchmarks — are PLA circuits from the
+IWLS93 suite: wide two-level covers with heavy product-term sharing
+across outputs.  This module gives that class a first-class type with
+Espresso-compatible text I/O and conversion to
+:class:`repro.network.boolnet.BooleanNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from ..network.boolnet import BooleanNetwork
+from ..network.cubes import lit
+from ..network.sop import Sop
+
+
+@dataclass
+class Pla:
+    """A programmable-logic-array description.
+
+    ``products`` holds (input_part, output_part) rows: the input part is
+    over ``{'0', '1', '-'}`` (complemented / positive / absent literal),
+    the output part over ``{'0', '1'}`` (the ``f``-type cover: '1' means
+    the product belongs to that output's ON-set cover).
+    """
+
+    name: str
+    inputs: List[str]
+    outputs: List[str]
+    products: List[Tuple[str, str]] = field(default_factory=list)
+
+    def add_product(self, input_part: str, output_part: str) -> None:
+        """Append one product row (validated)."""
+        if len(input_part) != len(self.inputs):
+            raise ParseError(
+                f"input part {input_part!r} has wrong width "
+                f"(expected {len(self.inputs)})")
+        if len(output_part) != len(self.outputs):
+            raise ParseError(
+                f"output part {output_part!r} has wrong width "
+                f"(expected {len(self.outputs)})")
+        if set(input_part) - set("01-"):
+            raise ParseError(f"bad input part {input_part!r}")
+        if set(output_part) - set("01"):
+            raise ParseError(f"bad output part {output_part!r}")
+        self.products.append((input_part, output_part))
+
+    def num_products(self) -> int:
+        """Product-term count."""
+        return len(self.products)
+
+    def product_sharing(self) -> float:
+        """Mean number of outputs each product feeds (≥ 1)."""
+        if not self.products:
+            return 0.0
+        total = sum(out.count("1") for _, out in self.products)
+        return total / len(self.products)
+
+    def to_network(self) -> BooleanNetwork:
+        """Lower to a two-level Boolean network (one node per output)."""
+        network = BooleanNetwork(self.name)
+        for name in self.inputs:
+            network.add_input(name)
+        covers: Dict[str, List] = {name: [] for name in self.outputs}
+        for input_part, output_part in self.products:
+            lits = []
+            for bit, name in zip(input_part, self.inputs):
+                if bit == "1":
+                    lits.append(lit(name, True))
+                elif bit == "0":
+                    lits.append(lit(name, False))
+            for bit, out_name in zip(output_part, self.outputs):
+                if bit == "1":
+                    covers[out_name].append(list(lits))
+        for out_name in self.outputs:
+            node_name = f"{out_name}_f" if out_name in network.inputs \
+                else out_name
+            network.add_node(node_name, Sop.from_cubes(covers[out_name]))
+            network.add_output(node_name)
+        return network
+
+
+def parse_pla(text: str, name: str = "pla") -> Pla:
+    """Parse the Espresso .pla format (the subset IWLS93 uses)."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    input_names: Optional[List[str]] = None
+    output_names: Optional[List[str]] = None
+    rows: List[Tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".i":
+                num_inputs = int(parts[1])
+            elif key == ".o":
+                num_outputs = int(parts[1])
+            elif key == ".ilb":
+                input_names = parts[1:]
+            elif key == ".ob":
+                output_names = parts[1:]
+            elif key in (".p", ".type", ".name"):
+                continue
+            elif key == ".e":
+                break
+            else:
+                continue  # tolerate unknown directives
+        else:
+            parts = line.split()
+            if len(parts) == 2:
+                rows.append((parts[0], parts[1]))
+            elif len(parts) == 1 and num_inputs is not None:
+                rows.append((parts[0][:num_inputs], parts[0][num_inputs:]))
+            else:
+                raise ParseError(f"bad product row {line!r}")
+    if num_inputs is None or num_outputs is None:
+        raise ParseError("missing .i/.o header")
+    inputs = input_names or [f"i{k}" for k in range(num_inputs)]
+    outputs = output_names or [f"o{k}" for k in range(num_outputs)]
+    if len(inputs) != num_inputs or len(outputs) != num_outputs:
+        raise ParseError("pin name lists disagree with .i/.o")
+    pla = Pla(name=name, inputs=inputs, outputs=outputs)
+    for input_part, output_part in rows:
+        output_part = output_part.replace("-", "0").replace("~", "0")
+        output_part = output_part.replace("2", "0").replace("4", "1")
+        pla.add_product(input_part, output_part)
+    return pla
+
+
+def dump_pla(pla: Pla) -> str:
+    """Serialise to .pla text."""
+    lines = [f".i {len(pla.inputs)}",
+             f".o {len(pla.outputs)}",
+             ".ilb " + " ".join(pla.inputs),
+             ".ob " + " ".join(pla.outputs),
+             f".p {len(pla.products)}"]
+    for input_part, output_part in pla.products:
+        lines.append(f"{input_part} {output_part}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,213 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands
+-----------
+``info``    — statistics of a BLIF file or named benchmark,
+``synth``   — technology-independent optimization (BLIF in/out),
+``map``     — technology mapping (BLIF in, Verilog out),
+``flow``    — the paper's Figure 3 congestion-aware flow on a benchmark,
+``ksweep``  — print a Table 2/4-style K sweep,
+``sta``     — map, place, route and time a circuit; print the critical path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .circuits import benchmark
+from .core import (
+    FlowConfig,
+    PAPER_K_VALUES,
+    area_congestion,
+    congestion_aware_flow,
+    evaluate_netlist,
+    k_sweep,
+    map_network,
+    min_area,
+    timing_of_point,
+)
+from .io import dump_blif, dump_verilog, k_sweep_table, parse_blif
+from .library import CORELIB018
+from .network import decompose
+from .place import Floorplan, place_base_network
+from .synth import optimize
+
+
+def _load_network(source: str):
+    """A BLIF path or a named benchmark like ``spla@0.125``."""
+    if source.endswith(".blif"):
+        with open(source) as handle:
+            return parse_blif(handle.read())
+    name, _, scale = source.partition("@")
+    return benchmark(name, float(scale) if scale else 0.125)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    network = _load_network(args.source)
+    print(network)
+    base = decompose(network)
+    print(base)
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    network = _load_network(args.source)
+    report = optimize(network, effort=args.effort)
+    print(f"literals {report.literals_before} -> {report.literals_after} "
+          f"({report.nodes_after} nodes)", file=sys.stderr)
+    output = dump_blif(network)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    else:
+        print(output, end="")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    network = _load_network(args.source)
+    base = decompose(network)
+    if args.k > 0 or args.partition == "placement":
+        floorplan = Floorplan.for_area(
+            base.num_gates() * 12.0 / (args.utilization / 100.0))
+        positions = place_base_network(base, floorplan)
+        objective = area_congestion(args.k)
+        result = map_network(base, CORELIB018, objective,
+                             partition_style="placement",
+                             positions=positions)
+    else:
+        result = map_network(base, CORELIB018, min_area(),
+                             partition_style=args.partition)
+    print(f"cells={result.netlist.num_cells()} "
+          f"area={result.stats['cell_area']:.1f} um2", file=sys.stderr)
+    output = dump_verilog(result.netlist)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    else:
+        print(output, end="")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    network = _load_network(args.source)
+    base = decompose(network)
+    config = FlowConfig(library=CORELIB018)
+    floorplan = Floorplan.from_rows(args.rows) if args.rows else \
+        Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
+    result = congestion_aware_flow(base, floorplan, config,
+                                   tolerance=args.tolerance)
+    for point in result.history:
+        print(f"K={point.k:g}: area={point.cell_area:.0f} "
+              f"util={point.utilization:.1f}% violations={point.violations}")
+    if result.converged:
+        print(f"converged at K={result.chosen_k:g}")
+        return 0
+    print("did not converge: relax the floorplan or resynthesize")
+    return 1
+
+
+def _cmd_ksweep(args: argparse.Namespace) -> int:
+    network = _load_network(args.source)
+    base = decompose(network)
+    config = FlowConfig(library=CORELIB018)
+    floorplan = Floorplan.from_rows(args.rows) if args.rows else \
+        Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
+    k_values = [float(k) for k in args.k.split(",")] if args.k \
+        else list(PAPER_K_VALUES)
+    points = k_sweep(base, floorplan, config, k_values=k_values,
+                     progress=lambda msg: print(msg, file=sys.stderr))
+    print(k_sweep_table(points, title=f"{network.name} K sweep "
+                                      f"(die {floorplan.area:.0f} um2, "
+                                      f"{floorplan.num_rows} rows)"))
+    return 0
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    network = _load_network(args.source)
+    base = decompose(network)
+    config = FlowConfig(library=CORELIB018)
+    floorplan = Floorplan.from_rows(args.rows) if args.rows else \
+        Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
+    positions = place_base_network(base, floorplan)
+    result = map_network(base, CORELIB018, area_congestion(args.k),
+                         partition_style="placement", positions=positions)
+    point = evaluate_netlist(result.netlist, floorplan, config, k=args.k)
+    point.mapping = result
+    report = timing_of_point(point, config)
+    print(f"cells      : {result.netlist.num_cells()} "
+          f"({result.stats['cell_area']:.1f} um2, "
+          f"{point.utilization:.1f}% utilization)")
+    print(f"routing    : {point.violations} violations, "
+          f"{point.routed_wirelength:.0f} um wire")
+    print(f"critical   : {report.describe_critical()} ns")
+    print("path       : " + " -> ".join(report.critical_path))
+    worst = sorted(report.output_arrival.items(),
+                   key=lambda kv: -kv[1])[:args.paths]
+    for po, arrival in worst:
+        print(f"  {po:<12s} {arrival:8.3f} ns")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Congestion-aware logic synthesis (DATE 2002) tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="circuit statistics")
+    p_info.add_argument("source", help="BLIF path or benchmark name[@scale]")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_synth = sub.add_parser("synth", help="technology-independent optimization")
+    p_synth.add_argument("source")
+    p_synth.add_argument("-o", "--output")
+    p_synth.add_argument("--effort", default="standard",
+                         choices=["fast", "standard", "high", "rugged"])
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_map = sub.add_parser("map", help="technology mapping")
+    p_map.add_argument("source")
+    p_map.add_argument("-o", "--output")
+    p_map.add_argument("--k", type=float, default=0.0,
+                       help="congestion minimization factor K")
+    p_map.add_argument("--partition", default="dagon",
+                       choices=["dagon", "cone", "placement"])
+    p_map.add_argument("--utilization", type=float, default=35.0)
+    p_map.set_defaults(func=_cmd_map)
+
+    p_flow = sub.add_parser("flow", help="Figure 3 congestion-aware flow")
+    p_flow.add_argument("source")
+    p_flow.add_argument("--rows", type=int, default=0)
+    p_flow.add_argument("--tolerance", type=int, default=0)
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_sweep = sub.add_parser("ksweep", help="Table 2/4-style K sweep")
+    p_sweep.add_argument("source")
+    p_sweep.add_argument("--rows", type=int, default=0)
+    p_sweep.add_argument("--k", default="",
+                         help="comma-separated K list (default: paper's)")
+    p_sweep.set_defaults(func=_cmd_ksweep)
+
+    p_sta = sub.add_parser("sta", help="map + place + route + timing report")
+    p_sta.add_argument("source")
+    p_sta.add_argument("--rows", type=int, default=0)
+    p_sta.add_argument("--k", type=float, default=0.0)
+    p_sta.add_argument("--paths", type=int, default=5,
+                       help="how many worst endpoints to list")
+    p_sta.set_defaults(func=_cmd_sta)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Dynamic-programming tree covering (Section 3.2).
+
+Keutzer's optimal tree covering, extended per the paper:
+
+* every tree vertex gets a best solution for **both polarities** (an
+  inverter converts between them at known cost),
+* each candidate's cost is ``AREA + K * WIRE`` (Eq. 5) where
+
+  - ``AREA(m, v)``  = cell area + sum of the fanin subtrees' area costs
+    (Eq. 1),
+  - ``WIRE1(m, v)`` = summed distance from the match's center of mass
+    to the centers of mass of its fanins' chosen matches (Eq. 2),
+  - ``WIRE2(m, v)`` = the stored one-level wire cost of those fanins
+    (Eq. 3), and ``WIRE = WIRE1 + WIRE2`` (Eq. 4),
+
+* the center of mass of the selected match is stored per vertex so
+  parents retrieve it in O(1) — the incremental companion-placement
+  update of Section 3.2,
+* leaves that refer to *materialized* signals (tree boundaries or
+  absorbed multi-fanout vertices) cost nothing in area — their logic is
+  paid for by their own tree — and sit at their committed positions.
+
+An arrival-time estimate rides along for the delay objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import MappingError
+from ..library.cell import CellLibrary
+from ..network.dag import BaseNetwork
+from .matching import Match, Matcher, NEG, POS
+from .objectives import CoverObjective
+from .partition import Tree
+from .wirecost import Point, PositionMap
+
+
+@dataclass
+class Solution:
+    """Best cover found for one (vertex, phase)."""
+
+    cost: float
+    area: float
+    wire1: float            # Eq. 2 of the chosen match (one level)
+    wire_transitive: float  # accumulated wire down to the leaves
+    arrival: float
+    com: Point              # center of mass of the chosen match
+    match: Optional[Match]  # None for an inverter phase-conversion
+    inv_source_phase: Optional[bool] = None
+    inv_source: Optional["Solution"] = None
+
+
+class TreeCover:
+    """The covering result for one subject tree."""
+
+    def __init__(self, tree: Tree,
+                 solutions: Dict[Tuple[int, bool], Solution]):  # noqa: D107
+        self.tree = tree
+        self.solutions = solutions
+
+    def root_solution(self) -> Solution:
+        """The committed solution: the root in positive phase."""
+        return self.solutions[(self.tree.root, POS)]
+
+
+class BoundaryInfo:
+    """What the DP knows about signals materialized outside this tree."""
+
+    def __init__(self, positions: PositionMap,
+                 arrivals: Optional[Dict[int, float]] = None):  # noqa: D107
+        self.positions = positions
+        self.arrivals = arrivals or {}
+
+    def position(self, vertex: int) -> Point:
+        """Committed position of a materialized signal."""
+        return self.positions.get(vertex)
+
+    def arrival(self, vertex: int) -> float:
+        """Committed arrival time of a materialized signal (ns)."""
+        return self.arrivals.get(vertex, 0.0)
+
+
+def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,
+               library: CellLibrary, objective: CoverObjective,
+               boundary: BoundaryInfo,
+               materialized: Set[int]) -> TreeCover:
+    """Cover one subject tree bottom-up; returns the full DP table.
+
+    ``materialized`` lists vertices whose signal exists as a net even if
+    they are members of this tree (multi-fanout absorption); the root
+    itself is excluded from that treatment since this call is what
+    materializes it.
+    """
+    members = tree.members
+    root = tree.root
+    inv = library.inverter
+    positions = boundary.positions
+
+    def consumable(v: int) -> bool:
+        return v in members
+
+    def is_shared(v: int) -> bool:
+        """Leaf refs to these vertices use the existing net."""
+        return v not in members or (v in materialized and v != root)
+
+    solutions: Dict[Tuple[int, bool], Solution] = {}
+
+    def leaf_solution(vertex: int, phase: bool) -> Solution:
+        """Cost of supplying (phase of) a signal at a match leaf."""
+        if is_shared(vertex):
+            pos = boundary.position(vertex)
+            arrival = boundary.arrival(vertex)
+            if phase == POS:
+                return Solution(cost=0.0, area=0.0, wire1=0.0,
+                                wire_transitive=0.0, arrival=arrival,
+                                com=pos, match=None)
+            # A shared inverter realises the complement at the signal's
+            # location; the netlist builder dedupes these per net.
+            return Solution(
+                cost=objective.cost(inv.area, 0.0,
+                                    arrival + inv.delay(objective.load_estimate)),
+                area=inv.area, wire1=0.0, wire_transitive=0.0,
+                arrival=arrival + inv.delay(objective.load_estimate),
+                com=pos, match=None, inv_source_phase=POS)
+        sol = solutions.get((vertex, phase))
+        if sol is None:
+            raise MappingError(
+                f"no solution for internal vertex {vertex} phase {phase}")
+        return sol
+
+    order = [v for v in sorted(members)]
+    for v in order:
+        cand: Dict[bool, Optional[Solution]] = {POS: None, NEG: None}
+        matches = matcher.matches_at(v, consumable)
+        for phase in (POS, NEG):
+            for match in matches[phase]:
+                sol = _evaluate(match, v, objective, positions,
+                                leaf_solution)
+                if sol is not None and (cand[phase] is None
+                                        or sol.cost < cand[phase].cost):
+                    cand[phase] = sol
+        # Inverter phase conversions.  A conversion always chains from
+        # the opposite phase's *match-based* best, never from another
+        # conversion — this keeps realisation acyclic.
+        match_based = dict(cand)
+        for phase in (POS, NEG):
+            source = match_based[not phase]
+            if source is None:
+                continue
+            arrival = source.arrival + inv.delay(objective.load_estimate)
+            converted = Solution(
+                cost=objective.cost(source.area + inv.area,
+                                    _wire_for_mode(source, objective),
+                                    arrival),
+                area=source.area + inv.area,
+                wire1=source.wire1,
+                wire_transitive=source.wire_transitive,
+                arrival=arrival,
+                com=source.com,
+                match=None,
+                inv_source_phase=not phase,
+                inv_source=source)
+            if cand[phase] is None or converted.cost < cand[phase].cost:
+                cand[phase] = converted
+        for phase in (POS, NEG):
+            if cand[phase] is not None:
+                solutions[(v, phase)] = cand[phase]
+    if (root, POS) not in solutions:
+        raise MappingError(f"tree rooted at {root} has no positive cover")
+    return TreeCover(tree, solutions)
+
+
+def _wire_for_mode(sol: Solution, objective: CoverObjective) -> float:
+    """The wire figure the objective scores (paper vs transitive)."""
+    if objective.transitive_wire:
+        return sol.wire_transitive
+    return sol.wire1
+
+
+def _evaluate(match: Match, vertex: int, objective: CoverObjective,
+              positions: PositionMap,
+              leaf_solution: Callable[[int, bool], Solution],
+              load: Optional[float] = None) -> Optional[Solution]:
+    """Score one candidate match (Eqs. 1–5)."""
+    leaf_sols: List[Solution] = []
+    for _, (u, phase) in match.leaves:
+        leaf_sols.append(leaf_solution(u, phase))
+    area = match.cell.area + sum(s.area for s in leaf_sols)
+    com = positions.centroid(match.consumed)
+    wire1 = sum(positions.dist(com, s.com) for s in leaf_sols)
+    wire2 = sum(s.wire1 for s in leaf_sols)
+    wire_transitive = wire1 + sum(s.wire_transitive for s in leaf_sols)
+    wire_paper = wire1 + wire2
+    arrival = (max((s.arrival for s in leaf_sols), default=0.0)
+               + match.cell.delay(load if load is not None
+                                  else objective.load_estimate))
+    wire_scored = wire_transitive if objective.transitive_wire else wire_paper
+    cost = objective.cost(area, wire_scored, arrival)
+    return Solution(cost=cost, area=area, wire1=wire1,
+                    wire_transitive=wire_transitive, arrival=arrival,
+                    com=com, match=match)

@@ -1,0 +1,286 @@
+"""End-to-end flows: the paper's methodology (Section 5, Figure 3).
+
+This module glues the substrates into the experiments the paper runs:
+
+* :func:`evaluate_netlist` — place, globally route and summarise one
+  mapped netlist in a fixed floorplan (one row of Tables 1/2/4).
+* :func:`run_k_point` — map the placed base network at one K and
+  evaluate it.
+* :func:`k_sweep` — the Table 2/4 experiment: the base network and its
+  placement are produced **once**, then re-mapped per K (the re-use the
+  paper emphasises as the methodology's cheapness).
+* :func:`congestion_aware_flow` — the Figure 3 loop: start at K = 0,
+  evaluate the congestion map, raise K until the map is acceptable.
+* :func:`find_routable_die` — grow the die row by row until a netlist
+  routes (the paper's 71→72→75-row escalations).
+* :func:`sis_flow` / :func:`dagon_flow` — the two baselines of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PlacementError, ReproError
+from ..library.cell import CellLibrary
+from ..network.boolnet import BooleanNetwork
+from ..network.dag import BaseNetwork
+from ..network.decompose import decompose
+from ..network.netlist import MappedNetlist
+from ..place.floorplan import Floorplan
+from ..place.placer import Placement, place_base_network, place_netlist
+from ..route.grid import RoutingResources
+from ..route.router import GlobalRouter, RoutingResult
+from ..synth.optimize import optimize
+from ..timing.sta import StaticTimingAnalyzer, TimingReport
+from .mapper import MappingResult, map_network
+from .objectives import area_congestion, min_area
+from .partition import DAGON, PLACEMENT
+from .wirecost import PositionMap
+
+#: The K schedule of the paper's Tables 2 and 4.
+PAPER_K_VALUES: Tuple[float, ...] = (
+    0.0, 0.0001, 0.00025, 0.0005, 0.00075, 0.001,
+    0.0025, 0.005, 0.0075, 0.01, 0.05, 0.1, 0.5, 1.0)
+
+
+@dataclass
+class FlowConfig:
+    """Shared configuration for all flow entry points."""
+
+    library: CellLibrary
+    resources: RoutingResources = field(default_factory=RoutingResources)
+    partition_style: str = PLACEMENT
+    gcell_rows: int = 2
+    max_route_iterations: int = 25
+    use_seed_positions: bool = False
+    seed: int = 0
+    place_attempts: int = 1
+
+
+@dataclass
+class EvalPoint:
+    """One evaluated mapping — a row of Table 2/4."""
+
+    k: float
+    cell_area: float
+    num_cells: int
+    utilization: float          # percent
+    violations: int
+    overflowed_nets: int
+    routed_wirelength: float    # µm
+    hpwl: float                 # µm
+    routable: bool
+    mapping: Optional[MappingResult] = None
+    placement: Optional[Placement] = None
+    routing: Optional[RoutingResult] = None
+
+    def row(self) -> Tuple[float, float, int, float, int]:
+        """(K, cell area, #cells, utilization %, violations)."""
+        return (self.k, self.cell_area, self.num_cells,
+                self.utilization, self.violations)
+
+
+def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
+                     config: FlowConfig,
+                     seed_positions: Optional[Dict[str, Tuple[float, float]]]
+                     = None, k: float = 0.0) -> EvalPoint:
+    """Place + globally route one netlist; summarise like a table row.
+
+    Up to ``config.place_attempts`` placement seeds are tried and the
+    best result kept (stopping early at zero violations) — the "let the
+    P&R tool try again" that any physical-design flow applies before
+    declaring a netlist unroutable.
+    """
+    area = netlist.total_area(config.library)
+    best: Optional[EvalPoint] = None
+    attempts = max(1, config.place_attempts)
+    for attempt in range(attempts):
+        placement = place_netlist(
+            netlist, config.library, floorplan,
+            seed_positions=(seed_positions if config.use_seed_positions
+                            else None),
+            seed=config.seed + attempt)
+        router = GlobalRouter(floorplan, config.resources,
+                              gcell_rows=config.gcell_rows,
+                              max_iterations=config.max_route_iterations,
+                              seed=config.seed)
+        routing = router.route(placement.net_points(netlist))
+        point = EvalPoint(
+            k=k, cell_area=area, num_cells=netlist.num_cells(),
+            utilization=floorplan.utilization(area),
+            violations=routing.violations,
+            overflowed_nets=routing.overflowed_nets,
+            routed_wirelength=routing.total_wirelength,
+            hpwl=placement.hpwl(netlist),
+            routable=routing.violations == 0,
+            placement=placement, routing=routing)
+        if best is None or (point.violations, point.routed_wirelength) < \
+                (best.violations, best.routed_wirelength):
+            best = point
+        if best.violations == 0:
+            break
+    assert best is not None
+    return best
+
+
+def run_k_point(base: BaseNetwork, positions: PositionMap,
+                floorplan: Floorplan, config: FlowConfig,
+                k: float) -> EvalPoint:
+    """Map the (already placed) base network at one K and evaluate it."""
+    objective = area_congestion(k)
+    mapping = map_network(base, config.library, objective,
+                          partition_style=config.partition_style,
+                          positions=positions)
+    point = evaluate_netlist(mapping.netlist, floorplan, config,
+                             seed_positions=mapping.instance_positions, k=k)
+    point.mapping = mapping
+    return point
+
+
+def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
+            k_values: Sequence[float] = PAPER_K_VALUES,
+            positions: Optional[PositionMap] = None,
+            progress: Optional[Callable[[str], None]] = None
+            ) -> List[EvalPoint]:
+    """The Table 2/4 experiment: one mapping + evaluation per K.
+
+    The technology-independent placement is computed once and re-used
+    for every K (each :func:`run_k_point` copies it internally through
+    the mapper), exactly as the paper's methodology prescribes.
+    """
+    if positions is None:
+        positions = place_base_network(base, floorplan, seed=config.seed)
+    points: List[EvalPoint] = []
+    for k in k_values:
+        point = run_k_point(base, positions, floorplan, config, k)
+        points.append(point)
+        if progress is not None:
+            progress(f"K={k:g}: area={point.cell_area:.0f} "
+                     f"cells={point.num_cells} util={point.utilization:.1f}% "
+                     f"violations={point.violations}")
+    return points
+
+
+@dataclass
+class FlowResult:
+    """Outcome of the Figure 3 methodology loop."""
+
+    chosen: Optional[EvalPoint]
+    history: List[EvalPoint]
+    converged: bool
+
+    @property
+    def chosen_k(self) -> Optional[float]:
+        """The K that produced the accepted congestion map."""
+        return self.chosen.k if self.chosen else None
+
+
+def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
+                          config: FlowConfig,
+                          k_schedule: Sequence[float] = PAPER_K_VALUES,
+                          positions: Optional[PositionMap] = None,
+                          tolerance: int = 0) -> FlowResult:
+    """The modified ASIC design flow of Figure 3.
+
+    Place the technology-independent netlist once; map with K = 0;
+    evaluate the congestion map; while congested, take the next K from
+    the schedule and re-map (technology mapping is linear-time, so this
+    loop is cheap relative to re-synthesis).  Stops at the first
+    acceptable map, or reports non-convergence — the case where the
+    paper says floorplan constraints must be relaxed.
+    """
+    if positions is None:
+        positions = place_base_network(base, floorplan, seed=config.seed)
+    history: List[EvalPoint] = []
+    for k in k_schedule:
+        point = run_k_point(base, positions, floorplan, config, k)
+        history.append(point)
+        if point.violations <= tolerance:
+            return FlowResult(chosen=point, history=history, converged=True)
+        # The paper's stopping heuristic: once congestion worsens while
+        # the area penalty keeps growing, more K will not help.
+        if len(history) >= 3:
+            recent = history[-3:]
+            if (recent[2].violations > recent[1].violations
+                    > recent[0].violations):
+                break
+    return FlowResult(chosen=None, history=history, converged=False)
+
+
+def find_routable_die(netlist: MappedNetlist, start_rows: int,
+                      config: FlowConfig,
+                      seed_positions: Optional[Dict] = None,
+                      max_extra_rows: int = 12, aspect: float = 1.0,
+                      row_height: Optional[float] = None,
+                      tolerance: int = 0) -> Tuple[Floorplan, EvalPoint]:
+    """Grow the die (aspect kept) until the netlist routes.
+
+    This is how the paper's Tables 3/5 derive 'chip area / number of
+    rows' per netlist.  ``tolerance`` is the violation count still
+    considered fixable in post-routing (the paper treats 2 and 9
+    violations as "basically routable").  Raises :class:`ReproError`
+    when even the largest attempted die fails.
+    """
+    rh = row_height if row_height is not None else config.library.row_height
+    last_error: Optional[str] = None
+    for rows in range(start_rows, start_rows + max_extra_rows + 1):
+        floorplan = Floorplan.from_rows(rows, row_height=rh, aspect=aspect)
+        try:
+            point = evaluate_netlist(netlist, floorplan, config,
+                                     seed_positions=seed_positions)
+        except PlacementError as exc:
+            last_error = str(exc)
+            continue
+        if point.violations <= tolerance:
+            return floorplan, point
+    raise ReproError(
+        f"netlist unroutable even with {start_rows + max_extra_rows} rows"
+        + (f" (last placement error: {last_error})" if last_error else ""))
+
+
+def sis_flow(network: BooleanNetwork, library: CellLibrary,
+             effort: str = "high") -> MappingResult:
+    """The SIS baseline: aggressive tech-independent optimization,
+    then minimum-area mapping.
+
+    Operates on a copy; the input network is untouched.
+    """
+    optimized = network.copy(network.name + "_sis")
+    optimize(optimized, effort=effort)
+    base = decompose(optimized)
+    return map_network(base, library, min_area(), partition_style=DAGON)
+
+
+def dagon_flow(network: BooleanNetwork, library: CellLibrary,
+               effort: str = "standard") -> MappingResult:
+    """The DAGON baseline: moderately optimized technology-independent
+    netlist mapped for minimum area by pure tree covering.
+
+    The paper gives DAGON a SIS-generated technology-independent
+    netlist; ``effort="standard"`` models that preprocessing.
+    """
+    prepared = network.copy(network.name + "_dagon")
+    if effort != "none":
+        optimize(prepared, effort=effort)
+    base = decompose(prepared)
+    return map_network(base, library, min_area(), partition_style=DAGON)
+
+
+def timing_of_point(point: EvalPoint, config: FlowConfig,
+                    netlist: Optional[MappedNetlist] = None) -> TimingReport:
+    """STA of an evaluated point using its routed wirelengths.
+
+    ``netlist`` defaults to the one attached via ``point.mapping``; pass
+    it explicitly for points produced by :func:`evaluate_netlist`.
+    """
+    if point.placement is None or point.routing is None:
+        raise ReproError("point was evaluated without placement/routing")
+    if netlist is None:
+        if point.mapping is None:
+            raise ReproError("point has no mapping attached; pass netlist=")
+        netlist = point.mapping.netlist
+    lengths = {name: point.routing.net_wirelength(name)
+               for name in point.routing.routes}
+    analyzer = StaticTimingAnalyzer(config.library)
+    return analyzer.analyze(netlist, lengths)

@@ -1,0 +1,275 @@
+"""The technology mapper: partition, cover, commit, build the netlist.
+
+Ties together Sections 3.1 and 3.2 of the paper:
+
+1. partition the placed base network into subject trees,
+2. cover the trees in topological order with the DP of
+   :mod:`repro.core.covering` under the chosen objective,
+3. commit each tree's cover — collapsing covered base-gate positions
+   onto match centers of mass so later trees see updated geometry —
+   and emit library-cell instances into a :class:`MappedNetlist`.
+
+Phase fixes at tree boundaries share one inverter per net, and mapped
+instances carry seed positions (their match's center of mass) that the
+placer may use as an initial guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MappingError
+from ..library.cell import CellLibrary
+from ..network.dag import BaseNetwork
+from ..network.netlist import MappedNetlist
+from .covering import BoundaryInfo, TreeCover, cover_tree
+from .matching import Matcher, POS
+from .objectives import CoverObjective, min_area
+from .partition import (
+    DAGON,
+    PLACEMENT,
+    Partition,
+    partition as make_partition,
+)
+from .wirecost import Point, PositionMap
+
+
+@dataclass
+class MappingResult:
+    """Everything a mapping run produces."""
+
+    netlist: MappedNetlist
+    partition: Partition
+    objective: CoverObjective
+    positions: PositionMap                  # committed layout image
+    instance_positions: Dict[str, Point]    # seed positions per instance
+    estimated_wirelength: float             # sum of committed WIRE1 terms
+    net_of_vertex: Dict[int, str]
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class TechnologyMapper:
+    """Maps a base network onto a cell library.
+
+    Parameters
+    ----------
+    network:
+        The NAND2/INV subject graph.
+    library:
+        The target cell library.
+    objective:
+        Covering objective (area / area+K*wire / delay).
+    partition_style:
+        ``"dagon"``, ``"cone"`` or ``"placement"``.
+    positions:
+        Placement of the base network (required for the placement
+        partitioner and whenever the objective uses wire cost).
+    """
+
+    def __init__(self, network: BaseNetwork, library: CellLibrary,
+                 objective: Optional[CoverObjective] = None,
+                 partition_style: str = DAGON,
+                 positions: Optional[PositionMap] = None,
+                 max_tree_size: Optional[int] = None):  # noqa: D107
+        self.network = network
+        self.library = library
+        self.objective = objective or min_area()
+        self.partition_style = partition_style
+        needs_positions = (partition_style == PLACEMENT
+                           or self.objective.uses_positions)
+        if positions is None:
+            if needs_positions:
+                raise MappingError(
+                    "this objective/partitioner needs base-network positions")
+            positions = PositionMap.zeros(network.num_vertices())
+        self.positions = positions.copy()
+        self.max_tree_size = max_tree_size
+        self.matcher = Matcher(network, library)
+
+    def run(self) -> MappingResult:
+        """Execute the full mapping flow and return the result."""
+        network = self.network
+        kwargs = {}
+        if self.max_tree_size is not None:
+            kwargs["max_tree_size"] = self.max_tree_size
+        part = make_partition(network, self.partition_style,
+                              positions=self.positions, **kwargs)
+        builder = _NetlistBuilder(network, self.library, part,
+                                  self.positions, self.objective)
+        for root in part.roots:
+            cover = cover_tree(network, part.trees[root], self.matcher,
+                               self.library, self.objective,
+                               builder.boundary, part.materialized)
+            builder.commit_tree(cover)
+        result = builder.finish()
+        result.partition = part
+        return result
+
+
+class _NetlistBuilder:
+    """Accumulates committed covers into a mapped netlist."""
+
+    def __init__(self, network: BaseNetwork, library: CellLibrary,
+                 part: Partition, positions: PositionMap,
+                 objective: CoverObjective):  # noqa: D107
+        self.network = network
+        self.library = library
+        self.part = part
+        self.positions = positions
+        self.objective = objective
+        self.netlist = MappedNetlist(network.name + "_mapped")
+        self.boundary = BoundaryInfo(positions, arrivals={})
+        self.net_of_vertex: Dict[int, str] = {}
+        self.inv_net: Dict[int, str] = {}        # vertex -> complement net
+        self.instance_positions: Dict[str, Point] = {}
+        self.wirelength = 0.0
+        self._net_uid = 0
+        self._reserved = set(network.input_vertex) | set(network.outputs)
+        self._po_of_vertex: Dict[int, List[str]] = {}
+        for po in sorted(network.outputs):
+            self._po_of_vertex.setdefault(network.outputs[po], []).append(po)
+        for name in sorted(network.input_vertex):
+            v = network.input_vertex[name]
+            self.netlist.add_input(name)
+            self.net_of_vertex[v] = name
+
+    # -- net naming -----------------------------------------------------
+
+    def _fresh_net(self, prefix: str) -> str:
+        while True:
+            self._net_uid += 1
+            candidate = f"{prefix}{self._net_uid}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+    def _root_net_name(self, vertex: int) -> str:
+        pos = self._po_of_vertex.get(vertex)
+        if pos:
+            return pos[0]
+        return self._fresh_net("n")
+
+    # -- committing one tree ---------------------------------------------
+
+    def commit_tree(self, cover: TreeCover) -> None:
+        """Realise the root's positive-phase solution as instances."""
+        root = cover.tree.root
+        root_net = self._root_net_name(root)
+        self._realized: Dict[Tuple[int, bool], str] = {}
+        self._realized_sol: Dict[int, str] = {}
+        net = self._realize(cover, root, POS, want_net=root_net)
+        if net != root_net:  # pragma: no cover - defensive
+            raise MappingError(f"root net mismatch at vertex {root}")
+        self.net_of_vertex[root] = root_net
+        sol = cover.root_solution()
+        self.boundary.arrivals[root] = sol.arrival
+        # The root's committed location is its top match's center of mass.
+        self.positions.set(root, sol.com)
+
+    def _realize(self, cover: TreeCover, vertex: int, phase: bool,
+                 want_net: Optional[str] = None) -> str:
+        key = (vertex, phase)
+        if key in self._realized and want_net is None:
+            return self._realized[key]
+        net = self._realize_solution(cover, cover.solutions[key], want_net)
+        self._realized[key] = net
+        return net
+
+    def _realize_solution(self, cover: TreeCover, sol,
+                          want_net: Optional[str] = None) -> str:
+        """Realise one Solution object as instances; memoised by identity.
+
+        Conversions embed their source Solution, so realisation never
+        cycles through the per-phase table.
+        """
+        if want_net is None and id(sol) in self._realized_sol:
+            return self._realized_sol[id(sol)]
+        if sol.match is None:
+            # Inverter phase conversion.
+            if sol.inv_source is None:
+                raise MappingError("conversion solution without a source")
+            source_net = self._realize_solution(cover, sol.inv_source)
+            net = want_net or self._fresh_net("w")
+            inv = self.library.inverter
+            inst = self.netlist.add_instance(
+                inv.name, {inv.input_pins[0]: source_net}, net)
+            self.instance_positions[inst.name] = sol.com
+        else:
+            match = sol.match
+            pins: Dict[str, str] = {}
+            for pin, (u, leaf_phase) in match.leaves:
+                pins[pin] = self._leaf_net(cover, u, leaf_phase)
+            net = want_net or self._fresh_net("w")
+            inst = self.netlist.add_instance(match.cell.name, pins, net)
+            self.instance_positions[inst.name] = sol.com
+            self.positions.commit(match.consumed, sol.com)
+            self.wirelength += sol.wire1
+        self._realized_sol[id(sol)] = net
+        return net
+
+    def _leaf_net(self, cover: TreeCover, vertex: int, phase: bool) -> str:
+        tree = cover.tree
+        shared = (vertex not in tree.members
+                  or (vertex in self.part.materialized
+                      and vertex != tree.root))
+        if not shared:
+            return self._realize(cover, vertex, phase)
+        base_net = self.net_of_vertex.get(vertex)
+        if base_net is None:
+            raise MappingError(
+                f"materialized vertex {vertex} referenced before its tree "
+                "was committed")
+        if phase == POS:
+            return base_net
+        inv_net = self.inv_net.get(vertex)
+        if inv_net is None:
+            inv = self.library.inverter
+            inv_net = self._fresh_net("w")
+            inst = self.netlist.add_instance(
+                inv.name, {inv.input_pins[0]: base_net}, inv_net)
+            self.instance_positions[inst.name] = self.positions.get(vertex)
+            self.inv_net[vertex] = inv_net
+        return inv_net
+
+    # -- finalisation ------------------------------------------------------
+
+    def finish(self) -> MappingResult:
+        """Attach primary outputs, prune dead logic, compute stats."""
+        for po in sorted(self.network.outputs):
+            v = self.network.outputs[po]
+            net = self.net_of_vertex.get(v)
+            if net is None:
+                raise MappingError(f"primary output {po!r} was never mapped")
+            self.netlist.add_output(po, net)
+        removed = self.netlist.remove_unused()
+        self.instance_positions = {
+            name: pos for name, pos in self.instance_positions.items()
+            if name in self.netlist.instances}
+        self.netlist.check()
+        area = self.netlist.total_area(self.library)
+        stats = {
+            "cells": float(self.netlist.num_cells()),
+            "cell_area": area,
+            "removed_unused": float(removed),
+            "estimated_wirelength": self.wirelength,
+        }
+        return MappingResult(
+            netlist=self.netlist, partition=self.part,
+            objective=self.objective, positions=self.positions,
+            instance_positions=self.instance_positions,
+            estimated_wirelength=self.wirelength,
+            net_of_vertex=self.net_of_vertex, stats=stats)
+
+
+def map_network(network: BaseNetwork, library: CellLibrary,
+                objective: Optional[CoverObjective] = None,
+                partition_style: str = DAGON,
+                positions: Optional[PositionMap] = None,
+                max_tree_size: Optional[int] = None) -> MappingResult:
+    """One-call convenience wrapper around :class:`TechnologyMapper`."""
+    mapper = TechnologyMapper(network, library, objective=objective,
+                              partition_style=partition_style,
+                              positions=positions,
+                              max_tree_size=max_tree_size)
+    return mapper.run()

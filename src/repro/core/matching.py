@@ -1,0 +1,135 @@
+"""Structural pattern matching of library cells onto subject trees.
+
+The matcher is *phase aware*: a pattern can be matched so that its
+output realises either the subject signal (``POS``) or its complement
+(``NEG``).  An INV pattern node may either consume a subject inverter
+or supply a free negation (the classic inverter-pair trick expressed as
+polarity propagation), and a subject inverter may likewise be consumed
+while flipping the requested polarity.  NAND2 inputs are symmetric, so
+both child orders are tried.
+
+A :class:`Match` records the cell, the root vertex and polarity, the
+set of consumed subject vertices, and the leaf bindings
+``pin -> (vertex, phase)``.  The tree-covering DP
+(:mod:`repro.core.covering`) consumes these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..library.cell import CellLibrary, LibCell
+from ..library.patterns import LEAF, P_INV, P_NAND, PatternNode
+from ..network.dag import BaseNetwork, INV, NAND2
+
+POS = True
+NEG = False
+
+#: One partial result: (bindings, consumed vertex set).
+_Partial = Tuple[Tuple[Tuple[str, Tuple[int, bool]], ...], FrozenSet[int]]
+
+
+@dataclass(frozen=True)
+class Match:
+    """A committed-candidate cell match rooted at a subject vertex."""
+
+    cell: LibCell
+    root: int
+    phase: bool
+    leaves: Tuple[Tuple[str, Tuple[int, bool]], ...]  # (pin, (vertex, phase))
+    consumed: FrozenSet[int]
+
+    def leaf_refs(self) -> List[Tuple[int, bool]]:
+        """The (vertex, phase) pairs the match's input pins bind to."""
+        return [ref for _, ref in self.leaves]
+
+    def __repr__(self) -> str:
+        sign = "+" if self.phase else "-"
+        return (f"Match({self.cell.name}@{self.root}{sign}, "
+                f"leaves={list(self.leaves)})")
+
+
+class Matcher:
+    """Enumerates matches of a library's patterns over a base network."""
+
+    def __init__(self, network: BaseNetwork, library: CellLibrary):  # noqa: D107
+        self.network = network
+        self.library = library
+
+    def matches_at(self, vertex: int, consumable: Callable[[int], bool]
+                   ) -> Dict[bool, List[Match]]:
+        """All matches rooted at ``vertex``, keyed by output phase.
+
+        ``consumable(v)`` says whether subject vertex ``v`` may be
+        covered (i.e. is internal to the current tree).  Matches that
+        consume nothing (pure polarity conversions) are dropped — the
+        covering DP models those explicitly with inverter insertion.
+        """
+        out: Dict[bool, List[Match]] = {POS: [], NEG: []}
+        if not consumable(vertex):
+            return out
+        for cell in self.library.cells():
+            for pattern in cell.patterns:
+                for phase in (POS, NEG):
+                    for bindings, consumed in self._match(
+                            pattern, vertex, phase, consumable):
+                        if vertex not in consumed:
+                            continue  # pure phase conversion
+                        out[phase].append(Match(
+                            cell=cell, root=vertex, phase=phase,
+                            leaves=bindings, consumed=consumed))
+        for phase in (POS, NEG):
+            out[phase] = _dedupe(out[phase])
+        return out
+
+    def _match(self, p: PatternNode, s: int, phase: bool,
+               consumable: Callable[[int], bool]) -> List[_Partial]:
+        """All ways pattern node ``p`` realises (``phase`` of) vertex ``s``."""
+        results: List[_Partial] = []
+        kind = self.network.kind[s]
+        if p.kind == LEAF:
+            assert p.pin is not None
+            results.append((((p.pin, (s, phase)),), frozenset()))
+            return results
+        if p.kind == P_INV:
+            # The pattern inverter supplies the negation without
+            # consuming a subject gate.
+            for bindings, consumed in self._match(
+                    p.children[0], s, not phase, consumable):
+                results.append((bindings, consumed))
+        if kind == INV and consumable(s):
+            # Consume the subject inverter, flipping the polarity the
+            # remaining pattern must realise.
+            child = self.network.fanins[s][0]
+            for bindings, consumed in self._match(p, child, not phase, consumable):
+                results.append((bindings, consumed | {s}))
+        if (p.kind == P_NAND and phase == POS and kind == NAND2
+                and consumable(s)):
+            a, b = self.network.fanins[s]
+            left, right = p.children
+            orders = [(a, b)] if a == b else [(a, b), (b, a)]
+            for sa, sb in orders:
+                for lb, lc in self._match(left, sa, POS, consumable):
+                    for rb, rc in self._match(right, sb, POS, consumable):
+                        merged = _merge_bindings(lb, rb)
+                        if merged is not None:
+                            results.append((merged, lc | rc | {s}))
+        return results
+
+
+def _merge_bindings(a: Tuple, b: Tuple) -> Optional[Tuple]:
+    """Concatenate leaf bindings; pins are disjoint by read-once-ness."""
+    return tuple(a) + tuple(b)
+
+
+def _dedupe(matches: List[Match]) -> List[Match]:
+    """Drop duplicate matches (same cell, bindings and cover)."""
+    seen: Set[Tuple] = set()
+    out: List[Match] = []
+    for m in matches:
+        key = (m.cell.name, tuple(sorted(m.leaves)), m.consumed)
+        if key not in seen:
+            seen.add(key)
+            out.append(m)
+    return out

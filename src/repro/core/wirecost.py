@@ -1,0 +1,16 @@
+"""Position bookkeeping for placement-driven mapping (Section 3.2).
+
+The implementation lives in :mod:`repro.geometry` (it is shared with the
+placement package); this module re-exports it under the name the paper's
+terminology suggests.
+"""
+
+from ..geometry import (  # noqa: F401
+    EUCLIDEAN,
+    MANHATTAN,
+    Point,
+    PositionMap,
+    distance,
+)
+
+__all__ = ["EUCLIDEAN", "MANHATTAN", "Point", "PositionMap", "distance"]

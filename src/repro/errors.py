@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetworkError(ReproError):
+    """Structural problem in a Boolean network or netlist."""
+
+
+class SynthesisError(ReproError):
+    """Failure inside the technology-independent synthesis engine."""
+
+
+class LibraryError(ReproError):
+    """Malformed cell library or pattern definition."""
+
+
+class MappingError(ReproError):
+    """Technology mapping could not produce a legal cover."""
+
+
+class PlacementError(ReproError):
+    """Placement could not legalize or the floorplan is infeasible."""
+
+
+class RoutingError(ReproError):
+    """Global routing failed structurally (not mere overflow)."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failure (e.g. combinational cycle)."""
+
+
+class ParseError(ReproError):
+    """Malformed input file (PLA, BLIF, liberty, placement)."""

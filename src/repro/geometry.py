@@ -1,0 +1,93 @@
+"""Layout geometry: positions, distances, centers of mass.
+
+The congestion-aware mapper works against a *layout image*: each base
+gate of the technology-independent network carries placement
+coordinates.  When a match is committed, the positions of all covered
+base gates collapse to the match's center of mass — the paper's
+incremental companion-placement update — so later trees see where
+already-mapped logic actually sits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .errors import MappingError
+
+Point = Tuple[float, float]
+
+MANHATTAN = "manhattan"
+EUCLIDEAN = "euclidean"
+
+
+def distance(a: Point, b: Point, metric: str = MANHATTAN) -> float:
+    """Distance between two layout points under the chosen metric."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    if metric == MANHATTAN:
+        return abs(dx) + abs(dy)
+    if metric == EUCLIDEAN:
+        return float(np.hypot(dx, dy))
+    raise MappingError(f"unknown distance metric {metric!r}")
+
+
+class PositionMap:
+    """Mutable vertex -> (x, y) map with center-of-mass commits."""
+
+    def __init__(self, positions: Sequence[Point],
+                 metric: str = MANHATTAN):  # noqa: D107
+        self._x = np.asarray([p[0] for p in positions], dtype=float)
+        self._y = np.asarray([p[1] for p in positions], dtype=float)
+        self.metric = metric
+
+    @classmethod
+    def zeros(cls, num_vertices: int, metric: str = MANHATTAN) -> "PositionMap":
+        """All-zero positions (used when wire cost is disabled, K = 0)."""
+        return cls([(0.0, 0.0)] * num_vertices, metric=metric)
+
+    def __len__(self) -> int:
+        return len(self._x)
+
+    def get(self, vertex: int) -> Point:
+        """Current position of a vertex."""
+        return (float(self._x[vertex]), float(self._y[vertex]))
+
+    def set(self, vertex: int, point: Point) -> None:
+        """Overwrite a vertex position."""
+        self._x[vertex] = point[0]
+        self._y[vertex] = point[1]
+
+    def centroid(self, vertices: Iterable[int]) -> Point:
+        """Center of mass of a set of vertices (current positions)."""
+        ids = list(vertices)
+        if not ids:
+            raise MappingError("centroid of an empty vertex set")
+        return (float(self._x[ids].mean()), float(self._y[ids].mean()))
+
+    def commit(self, vertices: Iterable[int], com: Point) -> None:
+        """Collapse all given vertices onto the committed center of mass."""
+        ids = list(vertices)
+        self._x[ids] = com[0]
+        self._y[ids] = com[1]
+
+    def dist(self, a: Point, b: Point) -> float:
+        """Distance under this map's metric."""
+        return distance(a, b, self.metric)
+
+    def dist_vertices(self, u: int, v: int) -> float:
+        """Distance between two vertices' current positions."""
+        return self.dist(self.get(u), self.get(v))
+
+    def copy(self) -> "PositionMap":
+        """Independent copy (commits on the copy don't affect the original)."""
+        out = PositionMap.__new__(PositionMap)
+        out._x = self._x.copy()
+        out._y = self._y.copy()
+        out.metric = self.metric
+        return out
+
+    def as_points(self) -> List[Point]:
+        """All positions as a list of tuples (deterministic order)."""
+        return [(float(x), float(y)) for x, y in zip(self._x, self._y)]

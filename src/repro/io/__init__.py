@@ -1,0 +1,19 @@
+"""Netlist and placement I/O: BLIF, Verilog, placement text, tables."""
+
+from .blif import dump_blif, parse_blif
+from .placement_io import dump_placement, parse_placement
+from .report import format_table, k_sweep_table, sta_table
+from .verilog import dump_verilog
+from .verilog_reader import parse_verilog
+
+__all__ = [
+    "dump_blif",
+    "dump_placement",
+    "dump_verilog",
+    "format_table",
+    "k_sweep_table",
+    "parse_blif",
+    "parse_placement",
+    "parse_verilog",
+    "sta_table",
+]

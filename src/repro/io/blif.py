@@ -1,0 +1,138 @@
+"""BLIF (Berkeley Logic Interchange Format) read/write.
+
+BLIF is SIS's native netlist format; supporting it keeps this library
+interoperable with the classic tool chain the paper used.  The
+combinational subset is implemented: ``.model``, ``.inputs``,
+``.outputs``, ``.names`` with ``{0,1,-}`` covers, and ``.end``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from ..network.boolnet import BooleanNetwork
+from ..network.cubes import lit
+from ..network.sop import Sop
+
+
+def parse_blif(text: str) -> BooleanNetwork:
+    """Parse combinational BLIF into a Boolean network."""
+    lines = _logical_lines(text)
+    name = "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    names_blocks: List[Tuple[List[str], List[str]]] = []
+    current: Optional[Tuple[List[str], List[str]]] = None
+    for line in lines:
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".model":
+                name = parts[1] if len(parts) > 1 else name
+            elif key == ".inputs":
+                inputs.extend(parts[1:])
+            elif key == ".outputs":
+                outputs.extend(parts[1:])
+            elif key == ".names":
+                current = (parts[1:], [])
+                names_blocks.append(current)
+            elif key == ".end":
+                break
+            elif key in (".latch", ".subckt", ".gate"):
+                raise ParseError(f"unsupported BLIF construct {key}")
+            else:
+                current = None  # unknown directive ends a cover
+        else:
+            if current is None:
+                raise ParseError(f"cover row outside .names: {line!r}")
+            current[1].append(line)
+
+    network = BooleanNetwork(name)
+    for pin in inputs:
+        network.add_input(pin)
+    for signals, rows in names_blocks:
+        if not signals:
+            raise ParseError(".names with no signals")
+        *fanins, output = signals
+        network.add_node(output, _cover_to_sop(fanins, rows, output))
+    for po in outputs:
+        network.add_output(po)
+    network.check()
+    return network
+
+
+def _cover_to_sop(fanins: List[str], rows: List[str], output: str) -> Sop:
+    """Convert a .names cover to an SOP (ON-set covers only)."""
+    if not rows:
+        return Sop.zero()
+    cubes = []
+    for row in rows:
+        parts = row.split()
+        if not fanins:
+            # Constant node: single output column.
+            if parts == ["1"]:
+                return Sop.one()
+            if parts == ["0"]:
+                return Sop.zero()
+            raise ParseError(f"bad constant row {row!r} for {output!r}")
+        if len(parts) != 2:
+            raise ParseError(f"bad cover row {row!r} for {output!r}")
+        pattern, value = parts
+        if value != "1":
+            raise ParseError(
+                f"only ON-set covers supported (node {output!r})")
+        if len(pattern) != len(fanins):
+            raise ParseError(f"cover width mismatch in {output!r}")
+        lits = []
+        for bit, fanin in zip(pattern, fanins):
+            if bit == "1":
+                lits.append(lit(fanin, True))
+            elif bit == "0":
+                lits.append(lit(fanin, False))
+            elif bit != "-":
+                raise ParseError(f"bad cover character {bit!r}")
+        cubes.append(lits)
+    return Sop.from_cubes(cubes)
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Strip comments, join continuation lines."""
+    out: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        out.append((pending + line).strip())
+        pending = ""
+    if pending.strip():
+        out.append(pending.strip())
+    return out
+
+
+def dump_blif(network: BooleanNetwork) -> str:
+    """Serialise a Boolean network to BLIF text."""
+    lines = [f".model {network.name}",
+             ".inputs " + " ".join(network.inputs),
+             ".outputs " + " ".join(network.outputs)]
+    for node_name in network.topological_order():
+        sop = network.nodes[node_name].sop
+        fanins = sorted(sop.support())
+        lines.append(".names " + " ".join(fanins + [node_name]))
+        if sop.is_one():
+            lines.append("1")
+            continue
+        if sop.is_zero():
+            continue
+        for cube in sorted(sop.cubes, key=lambda c: sorted(c)):
+            phase = {name: bit for name, bit in cube}
+            pattern = "".join(
+                ("1" if phase[f] else "0") if f in phase else "-"
+                for f in fanins)
+            lines.append(f"{pattern} 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

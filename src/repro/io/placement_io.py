@@ -1,0 +1,58 @@
+"""Placement save/load (a DEF-flavoured plain-text format).
+
+One line per object: ``CELL <name> <x> <y>`` or ``PAD <name> <x> <y>``,
+with a ``DIE <width> <row_height> <num_rows>`` header (full float
+precision, so round trips are exact) — enough to
+round-trip :class:`repro.place.placer.Placement` objects and inspect
+them with standard text tools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ParseError
+from ..place.floorplan import Floorplan
+from ..place.placer import Placement
+
+
+def dump_placement(placement: Placement) -> str:
+    """Serialise a placement to the text format."""
+    fp = placement.floorplan
+    lines = [f"DIE {fp.width:.6f} {fp.row_height:.6f} {fp.num_rows}"]
+    for name in sorted(placement.positions):
+        x, y = placement.positions[name]
+        lines.append(f"CELL {name} {x!r} {y!r}")
+    for name in sorted(placement.pads):
+        x, y = placement.pads[name]
+        lines.append(f"PAD {name} {x!r} {y!r}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_placement(text: str) -> Placement:
+    """Parse the text format back into a :class:`Placement`."""
+    floorplan = None
+    positions: Dict[str, Tuple[float, float]] = {}
+    pads: Dict[str, Tuple[float, float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "DIE":
+            if len(parts) != 4:
+                raise ParseError(f"bad DIE line: {line!r}")
+            floorplan = Floorplan(width=float(parts[1]),
+                                  row_height=float(parts[2]),
+                                  num_rows=int(parts[3]))
+        elif kind in ("CELL", "PAD"):
+            if len(parts) != 4:
+                raise ParseError(f"bad {kind} line: {line!r}")
+            target = positions if kind == "CELL" else pads
+            target[parts[1]] = (float(parts[2]), float(parts[3]))
+        else:
+            raise ParseError(f"unknown record {kind!r}")
+    if floorplan is None:
+        raise ParseError("missing DIE header")
+    return Placement(positions=positions, pads=pads, floorplan=floorplan)

@@ -1,0 +1,61 @@
+"""Fixed-width table rendering in the style of the paper's tables.
+
+The benchmark harness prints its reproduction of each table through
+these helpers so outputs line up with the paper's layout for eyeball
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.01:
+            return f"{cell:g}"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def k_sweep_table(points, title: str) -> str:
+    """The paper's Table 2/4 layout from a list of EvalPoints."""
+    headers = ["K", "Cell Area (um2)", "No. of Cells",
+               "Area Utilization%", "No. of Routing violations"]
+    rows = [(p.k, p.cell_area, p.num_cells, p.utilization, p.violations)
+            for p in points]
+    return format_table(headers, rows, title=title)
+
+
+def sta_table(rows, title: str) -> str:
+    """The paper's Table 3/5 layout.
+
+    ``rows`` are (label, own_critical_str, reference_str, chip_area,
+    num_rows) tuples.
+    """
+    headers = ["K", "Critical Path Arrival (ns)",
+               "Same path as critical of ref", "Chip Area (um2)", "Rows"]
+    return format_table(headers, rows, title=title)

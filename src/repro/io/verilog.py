@@ -1,0 +1,47 @@
+"""Structural Verilog writer for mapped netlists.
+
+Emits a flat gate-level module instantiating library cells by name —
+the hand-off format a mapped netlist would take into a commercial
+place-and-route tool.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Set
+
+from ..network.netlist import MappedNetlist
+
+
+def _escape(name: str) -> str:
+    """Verilog-legal identifier (escaped identifier when needed)."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9$]*", name):
+        return name
+    return "\\" + name + " "
+
+
+def dump_verilog(netlist: MappedNetlist) -> str:
+    """Serialise a mapped netlist as structural Verilog."""
+    ports = [_escape(p) for p in netlist.inputs + netlist.outputs]
+    lines = [f"module {_escape(netlist.name)} (" + ", ".join(ports) + ");"]
+    for pin in netlist.inputs:
+        lines.append(f"  input {_escape(pin)};")
+    for pin in netlist.outputs:
+        lines.append(f"  output {_escape(pin)};")
+    io_names: Set[str] = set(netlist.inputs) | set(netlist.outputs)
+    for net in netlist.nets():
+        if net not in io_names:
+            lines.append(f"  wire {_escape(net)};")
+    for po in netlist.outputs:
+        net = netlist.output_net[po]
+        if net != po:
+            lines.append(f"  assign {_escape(po)} = {_escape(net)};")
+    for inst_name in sorted(netlist.instances):
+        inst = netlist.instances[inst_name]
+        conns = [f".Y({_escape(inst.output)})"]
+        for pin in sorted(inst.pins):
+            conns.append(f".{pin}({_escape(inst.pins[pin])})")
+        lines.append(f"  {inst.cell_name} {_escape(inst_name)} ("
+                     + ", ".join(conns) + ");")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,105 @@
+"""Structural Verilog reader (the subset the writer emits).
+
+Parses a flat gate-level module — ``input``/``output``/``wire``
+declarations, ``assign`` aliases and cell instantiations with named
+connections — back into a :class:`MappedNetlist`.  Together with
+:func:`repro.io.verilog.dump_verilog` this closes the hand-off loop a
+downstream user needs (edit a mapped netlist outside the tool, read it
+back, re-place and re-route).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..errors import ParseError
+from ..network.netlist import MappedNetlist
+
+_IDENT = r"(?:\\[^ ]+ |[A-Za-z_][A-Za-z_0-9$]*)"
+
+
+def _clean(name: str) -> str:
+    name = name.strip()
+    if name.startswith("\\"):
+        return name[1:].rstrip()
+    return name
+
+
+def parse_verilog(text: str, library=None) -> MappedNetlist:
+    """Parse a flat structural module into a mapped netlist.
+
+    ``library`` (optional) validates cell names and pin sets when
+    provided.  Raises :class:`ParseError` on anything outside the
+    supported subset (behavioural code, busses, multiple modules).
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    module = re.search(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;(.*?)endmodule",
+                       text, flags=re.S)
+    if not module:
+        raise ParseError("no module found")
+    if re.search(r"\bmodule\b", text[module.end():]):
+        raise ParseError("multiple modules are not supported")
+    name, _ports, body = module.groups()
+    netlist = MappedNetlist(_clean(name))
+
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    outputs: List[str] = []
+    aliases: Dict[str, str] = {}
+    for statement in statements:
+        key = statement.split(None, 1)[0]
+        if key == "input":
+            for pin in _split_names(statement[len("input"):]):
+                netlist.add_input(pin)
+        elif key == "output":
+            outputs.extend(_split_names(statement[len("output"):]))
+        elif key == "wire":
+            continue
+        elif key == "assign":
+            match = re.fullmatch(
+                rf"assign\s+({_IDENT})\s*=\s*({_IDENT})\s*", statement)
+            if not match:
+                raise ParseError(f"unsupported assign: {statement!r}")
+            aliases[_clean(match.group(1))] = _clean(match.group(2))
+        else:
+            _parse_instance(statement, netlist, library)
+
+    for po in outputs:
+        netlist.add_output(po, net=aliases.get(po, po))
+    netlist.check()
+    return netlist
+
+
+def _split_names(text: str) -> List[str]:
+    if re.search(r"\[\s*\d+\s*:\s*\d+\s*\]", text):
+        raise ParseError("bus declarations are not supported")
+    return [_clean(part) for part in text.split(",") if part.strip()]
+
+
+def _parse_instance(statement: str, netlist: MappedNetlist,
+                    library) -> None:
+    match = re.fullmatch(
+        rf"({_IDENT})\s+({_IDENT})\s*\((.*)\)\s*", statement, flags=re.S)
+    if not match:
+        raise ParseError(f"unsupported statement: {statement!r}")
+    cell_name, inst_name, conns = match.groups()
+    cell_name = _clean(cell_name)
+    pins: Dict[str, str] = {}
+    output: Optional[str] = None
+    for conn in re.finditer(rf"\.([A-Za-z_][A-Za-z_0-9]*)\s*\(\s*({_IDENT})"
+                            r"\s*\)", conns):
+        pin, net = conn.group(1), _clean(conn.group(2))
+        if pin == "Y":
+            output = net
+        else:
+            pins[pin] = net
+    if output is None:
+        raise ParseError(f"instance {inst_name!r} has no .Y output")
+    if library is not None:
+        cell = library.cell(cell_name)
+        if sorted(pins) != cell.input_pins:
+            raise ParseError(
+                f"instance {inst_name!r}: pins {sorted(pins)} do not match "
+                f"cell {cell_name!r} ({cell.input_pins})")
+    netlist.add_instance(cell_name, pins, output, name=_clean(inst_name))

@@ -1,0 +1,22 @@
+"""Standard-cell library substrate: cells, pattern trees, corelib018."""
+
+from .cell import CellLibrary, LibCell
+from .corelib import CORELIB018, ROW_HEIGHT_UM, build_corelib018
+from .liberty import dump_library, load_library, parse_pattern
+from .patterns import PatternNode, leaf, pattern_to_sop, pinv, pnand
+
+__all__ = [
+    "CORELIB018",
+    "CellLibrary",
+    "LibCell",
+    "PatternNode",
+    "ROW_HEIGHT_UM",
+    "build_corelib018",
+    "dump_library",
+    "leaf",
+    "load_library",
+    "parse_pattern",
+    "pattern_to_sop",
+    "pinv",
+    "pnand",
+]

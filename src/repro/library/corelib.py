@@ -1,0 +1,126 @@
+"""``corelib018`` — the synthetic 0.18 µm standard-cell library.
+
+A stand-in for STMicroelectronics' proprietary CORELIB8DHS 2.0 used in
+the paper.  Cell areas are calibrated so the paper's Figure 1 example
+reproduces *exactly*:
+
+* minimum-area mapping  = NAND3 + AOI21 + 2×INV = 53.248 µm²
+* congestion mapping    = 2×OR2 + 2×NAND2 + INV = 65.536 µm²
+
+Delay numbers are 0.18 µm-class (FO4 ≈ 65–90 ps); resistances are in
+kΩ, capacitances in pF, so ``R * C`` is in ns.  Row height is 5.2 µm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cell import CellLibrary, LibCell
+from .patterns import PatternNode, leaf, pinv, pnand
+
+ROW_HEIGHT_UM = 5.2
+
+
+def _cell(name: str, patterns: List[PatternNode], area: float,
+          intrinsic: float, resistance: float, cin: float) -> LibCell:
+    """Uniform-input-cap cell constructor."""
+    pins = {p: cin for p in patterns[0].leaves()}
+    return LibCell(name=name, patterns=tuple(patterns), area=area,
+                   intrinsic_delay=intrinsic, drive_resistance=resistance,
+                   pin_caps=pins)
+
+
+def _nand3(a: str, b: str, c: str) -> PatternNode:
+    """NOT(a b c) = NAND2(AND2(a, b), c)."""
+    return pnand(pinv(pnand(leaf(a), leaf(b))), leaf(c))
+
+
+def _nand3_chain(a: str, b: str, c: str) -> PatternNode:
+    """Same function, right-leaning shape."""
+    return pnand(leaf(a), pinv(pnand(leaf(b), leaf(c))))
+
+
+def _or2(a: str, b: str) -> PatternNode:
+    """a + b = NAND2(a', b')."""
+    return pnand(pinv(leaf(a)), pinv(leaf(b)))
+
+
+def _and2(a: str, b: str) -> PatternNode:
+    """a b = INV(NAND2(a, b))."""
+    return pinv(pnand(leaf(a), leaf(b)))
+
+
+def build_corelib018() -> CellLibrary:
+    """Construct the full synthetic library."""
+    cells: List[LibCell] = []
+
+    # Inverters and buffers at several drive strengths.
+    cells.append(_cell("INV_X1", [pinv(leaf("A"))], 6.656, 0.024, 6.0, 0.0020))
+    cells.append(_cell("INV_X2", [pinv(leaf("A"))], 9.984, 0.026, 3.0, 0.0040))
+    cells.append(_cell("INV_X4", [pinv(leaf("A"))], 16.640, 0.028, 1.5, 0.0080))
+    cells.append(_cell("BUF_X1", [pinv(pinv(leaf("A")))], 9.984, 0.052, 3.6, 0.0018))
+    cells.append(_cell("BUF_X2", [pinv(pinv(leaf("A")))], 13.312, 0.056, 1.8, 0.0020))
+
+    # NANDs.
+    cells.append(_cell("NAND2_X1", [pnand(leaf("A"), leaf("B"))],
+                       9.984, 0.030, 6.5, 0.0022))
+    cells.append(_cell("NAND2_X2", [pnand(leaf("A"), leaf("B"))],
+                       13.312, 0.032, 3.2, 0.0044))
+    cells.append(_cell("NAND3_X1",
+                       [_nand3("A", "B", "C"), _nand3_chain("A", "B", "C")],
+                       16.640, 0.038, 7.0, 0.0024))
+    cells.append(_cell("NAND4_X1",
+                       [pnand(_and2("A", "B"), _and2("C", "D")),
+                        pnand(pinv(pnand(pinv(pnand(leaf("A"), leaf("B"))),
+                                         leaf("C"))), leaf("D"))],
+                       23.296, 0.048, 7.5, 0.0026))
+
+    # NORs.
+    cells.append(_cell("NOR2_X1", [pinv(pnand(pinv(leaf("A")), pinv(leaf("B"))))],
+                       9.984, 0.034, 8.0, 0.0022))
+    cells.append(_cell("NOR3_X1",
+                       [pinv(pnand(pinv(pnand(pinv(leaf("A")), pinv(leaf("B")))),
+                                   pinv(leaf("C"))))],
+                       16.640, 0.044, 9.0, 0.0024))
+
+    # AND / OR.
+    cells.append(_cell("AND2_X1", [_and2("A", "B")], 13.312, 0.056, 4.0, 0.0020))
+    cells.append(_cell("AND3_X1",
+                       [pinv(_nand3("A", "B", "C")),
+                        pinv(_nand3_chain("A", "B", "C"))],
+                       19.968, 0.062, 4.2, 0.0022))
+    # OR2 area calibrated to the paper's Figure 1 (see module docstring).
+    cells.append(_cell("OR2_X1", [_or2("A", "B")], 19.456, 0.060, 4.5, 0.0020))
+    cells.append(_cell("OR3_X1",
+                       [pnand(pinv(pnand(pinv(leaf("A")), pinv(leaf("B")))),
+                              pinv(leaf("C")))],
+                       26.624, 0.068, 4.8, 0.0022))
+
+    # AOI / OAI complex gates.
+    cells.append(_cell("AOI21_X1",
+                       [pinv(pnand(pnand(leaf("A"), leaf("B")), pinv(leaf("C"))))],
+                       23.296, 0.042, 7.8, 0.0023))
+    cells.append(_cell("AOI22_X1",
+                       [pinv(pnand(pnand(leaf("A"), leaf("B")),
+                                   pnand(leaf("C"), leaf("D"))))],
+                       26.624, 0.048, 8.2, 0.0024))
+    cells.append(_cell("OAI21_X1",
+                       [pnand(_or2("A", "B"), leaf("C"))],
+                       23.296, 0.044, 7.8, 0.0023))
+    cells.append(_cell("OAI22_X1",
+                       [pnand(_or2("A", "B"), _or2("C", "D"))],
+                       26.624, 0.050, 8.2, 0.0024))
+
+    # AO / OA non-inverting complex gates.
+    cells.append(_cell("AO21_X1",
+                       [pnand(pnand(leaf("A"), leaf("B")), pinv(leaf("C")))],
+                       26.624, 0.058, 4.6, 0.0022))
+    cells.append(_cell("OA21_X1",
+                       [pinv(pnand(_or2("A", "B"), leaf("C")))],
+                       26.624, 0.060, 4.6, 0.0022))
+
+    return CellLibrary("corelib018", cells, row_height=ROW_HEIGHT_UM)
+
+
+#: Module-level singleton; the library is immutable so sharing is safe.
+CORELIB018 = build_corelib018()

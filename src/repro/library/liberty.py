@@ -1,0 +1,109 @@
+"""A miniature Liberty-like text format for cell libraries.
+
+Real Liberty is a large grammar; this module implements the small,
+self-consistent subset this project needs so libraries can be dumped,
+versioned and re-loaded.  Patterns are stored in the compact
+``NAND(INV(A), B)`` form produced by
+:meth:`repro.library.patterns.PatternNode.to_string`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import ParseError
+from .cell import CellLibrary, LibCell
+from .patterns import PatternNode, leaf, pinv, pnand
+
+
+def dump_library(library: CellLibrary) -> str:
+    """Serialise a library to the mini-liberty text form."""
+    lines: List[str] = [f'library ("{library.name}") {{',
+                        f"  row_height : {library.row_height};"]
+    for cell in library.cells():
+        lines.append(f'  cell ("{cell.name}") {{')
+        lines.append(f"    area : {cell.area};")
+        lines.append(f"    intrinsic : {cell.intrinsic_delay};")
+        lines.append(f"    resistance : {cell.drive_resistance};")
+        for pattern in cell.patterns:
+            lines.append(f"    pattern : {pattern.to_string()};")
+        for pin in cell.input_pins:
+            lines.append(f'    pin ("{pin}") {{ cap : {cell.pin_caps[pin]}; }}')
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_pattern(text: str) -> PatternNode:
+    """Parse the compact pattern form back into a tree."""
+    text = text.strip()
+    node, rest = _parse_pattern(text)
+    if rest.strip():
+        raise ParseError(f"trailing text after pattern: {rest!r}")
+    return node
+
+
+def _parse_pattern(text: str) -> Tuple[PatternNode, str]:
+    text = text.lstrip()
+    if text.startswith("INV("):
+        child, rest = _parse_pattern(text[len("INV("):])
+        rest = rest.lstrip()
+        if not rest.startswith(")"):
+            raise ParseError(f"expected ')' in pattern near {rest!r}")
+        return pinv(child), rest[1:]
+    if text.startswith("NAND("):
+        left, rest = _parse_pattern(text[len("NAND("):])
+        rest = rest.lstrip()
+        if not rest.startswith(","):
+            raise ParseError(f"expected ',' in pattern near {rest!r}")
+        right, rest = _parse_pattern(rest[1:])
+        rest = rest.lstrip()
+        if not rest.startswith(")"):
+            raise ParseError(f"expected ')' in pattern near {rest!r}")
+        return pnand(left, right), rest[1:]
+    match = re.match(r"[A-Za-z_][A-Za-z_0-9]*", text)
+    if not match:
+        raise ParseError(f"expected a pin name near {text!r}")
+    return leaf(match.group(0)), text[match.end():]
+
+
+def load_library(text: str) -> CellLibrary:
+    """Parse the mini-liberty text form back into a :class:`CellLibrary`."""
+    lib_match = re.search(r'library\s*\(\s*"([^"]+)"\s*\)', text)
+    if not lib_match:
+        raise ParseError("missing library header")
+    name = lib_match.group(1)
+    row_match = re.search(r"row_height\s*:\s*([0-9.eE+-]+)\s*;", text)
+    row_height = float(row_match.group(1)) if row_match else 5.2
+
+    cells: List[LibCell] = []
+    cell_re = re.compile(r'cell\s*\(\s*"([^"]+)"\s*\)\s*\{')
+    positions = [(m.start(), m.end(), m.group(1)) for m in cell_re.finditer(text)]
+    for i, (_, body_start, cell_name) in enumerate(positions):
+        body_end = positions[i + 1][0] if i + 1 < len(positions) else len(text)
+        body = text[body_start:body_end]
+        cells.append(_parse_cell(cell_name, body))
+    if not cells:
+        raise ParseError("library has no cells")
+    return CellLibrary(name, cells, row_height=row_height)
+
+
+def _parse_cell(name: str, body: str) -> LibCell:
+    def scalar(key: str) -> float:
+        match = re.search(rf"{key}\s*:\s*([0-9.eE+-]+)\s*;", body)
+        if not match:
+            raise ParseError(f"cell {name!r}: missing {key}")
+        return float(match.group(1))
+
+    patterns = [parse_pattern(m.group(1))
+                for m in re.finditer(r"pattern\s*:\s*([^;]+);", body)]
+    if not patterns:
+        raise ParseError(f"cell {name!r}: no pattern")
+    pin_caps: Dict[str, float] = {}
+    for m in re.finditer(r'pin\s*\(\s*"([^"]+)"\s*\)\s*\{\s*cap\s*:\s*'
+                         r"([0-9.eE+-]+)\s*;\s*\}", body):
+        pin_caps[m.group(1)] = float(m.group(2))
+    return LibCell(name=name, patterns=tuple(patterns), area=scalar("area"),
+                   intrinsic_delay=scalar("intrinsic"),
+                   drive_resistance=scalar("resistance"), pin_caps=pin_caps)

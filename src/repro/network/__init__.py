@@ -1,0 +1,60 @@
+"""Logic-network substrate: SOP algebra, Boolean networks, base DAGs.
+
+Public surface:
+
+* :class:`~repro.network.sop.Sop` and the cube helpers in
+  :mod:`repro.network.cubes` — two-level algebra,
+* :class:`~repro.network.boolnet.BooleanNetwork` — multi-level SIS-style
+  networks,
+* :class:`~repro.network.dag.BaseNetwork` — NAND2/INV subject graphs,
+* :class:`~repro.network.netlist.MappedNetlist` — mapped gate netlists,
+* :func:`~repro.network.decompose.decompose` — technology decomposition,
+* simulation and equivalence helpers.
+"""
+
+from .boolnet import BooleanNetwork, Node
+from .cubes import Cube, Literal, ONE_CUBE, lit, lit_negate, make_cube
+from .dag import BaseNetwork, INV, NAND2, PI
+from .decompose import decompose
+from .equiv import (
+    check_base_vs_mapped,
+    check_boolnet_vs_base,
+    check_boolnet_vs_boolnet,
+)
+from .netlist import Instance, MappedNetlist
+from .simulate import (
+    exhaustive_stimulus,
+    random_stimulus,
+    simulate_base,
+    simulate_boolnet,
+    simulate_mapped,
+)
+from .sop import Sop, parse_sop
+
+__all__ = [
+    "BaseNetwork",
+    "BooleanNetwork",
+    "Cube",
+    "INV",
+    "Instance",
+    "Literal",
+    "MappedNetlist",
+    "NAND2",
+    "Node",
+    "ONE_CUBE",
+    "PI",
+    "Sop",
+    "check_base_vs_mapped",
+    "check_boolnet_vs_base",
+    "check_boolnet_vs_boolnet",
+    "decompose",
+    "exhaustive_stimulus",
+    "lit",
+    "lit_negate",
+    "make_cube",
+    "parse_sop",
+    "random_stimulus",
+    "simulate_base",
+    "simulate_boolnet",
+    "simulate_mapped",
+]

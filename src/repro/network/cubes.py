@@ -1,0 +1,139 @@
+"""Cube algebra for two-level (sum-of-products) logic.
+
+A *literal* is a variable in either positive or complemented phase,
+represented as a ``(name, phase)`` tuple where ``phase`` is ``True`` for
+the positive literal ``x`` and ``False`` for the complement ``x'``.
+
+A *cube* is a product (AND) of literals, represented as a frozenset of
+literals.  The empty cube is the constant-1 product.  A cube in which a
+variable appears in both phases is identically 0 and is normalised away
+by the constructors in this module.
+
+These are the primitives the SIS-style algebraic engine
+(:mod:`repro.synth`) is built on: the *algebraic* (as opposed to Boolean)
+model treats an expression as a polynomial whose variables are the
+literals, so multiplication and division below are polynomial operations
+that never exploit ``x * x' = 0`` beyond cube normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+Literal = Tuple[str, bool]
+Cube = FrozenSet[Literal]
+
+#: The constant-1 cube (empty product).
+ONE_CUBE: Cube = frozenset()
+
+
+def lit(name: str, phase: bool = True) -> Literal:
+    """Build a literal for variable ``name`` with the given ``phase``."""
+    return (name, phase)
+
+
+def lit_name(literal: Literal) -> str:
+    """Variable name of a literal."""
+    return literal[0]
+
+
+def lit_phase(literal: Literal) -> bool:
+    """Phase of a literal (``True`` = positive)."""
+    return literal[1]
+
+
+def lit_negate(literal: Literal) -> Literal:
+    """The complement literal of ``literal``."""
+    return (literal[0], not literal[1])
+
+
+def lit_str(literal: Literal) -> str:
+    """Render a literal as ``x`` or ``x'``."""
+    name, phase = literal
+    return name if phase else name + "'"
+
+
+def make_cube(literals: Iterable[Literal]) -> Optional[Cube]:
+    """Build a cube from literals, or return ``None`` if it is null.
+
+    A cube containing both phases of some variable is the constant-0
+    product; this function returns ``None`` for it so callers can drop
+    null cubes uniformly.
+    """
+    cube = frozenset(literals)
+    names = [name for name, _ in cube]
+    if len(names) != len(set(names)):
+        return None
+    return cube
+
+
+def cube_vars(cube: Cube) -> FrozenSet[str]:
+    """The set of variable names appearing in ``cube``."""
+    return frozenset(name for name, _ in cube)
+
+
+def cube_mul(a: Cube, b: Cube) -> Optional[Cube]:
+    """Algebraic product of two cubes; ``None`` if the result is null."""
+    return make_cube(a | b)
+
+
+def cube_divide(cube: Cube, divisor: Cube) -> Optional[Cube]:
+    """Divide ``cube`` by ``divisor``: the quotient cube, or ``None``.
+
+    ``cube / divisor = q`` iff ``divisor * q == cube`` with disjoint
+    supports, i.e. the divisor's literals are a subset of the cube's.
+    """
+    if divisor <= cube:
+        return cube - divisor
+    return None
+
+
+def cube_contains(big: Cube, small: Cube) -> bool:
+    """True if the product ``big`` has every literal of ``small``.
+
+    Note that as a *set of minterms* the containment runs the other way:
+    a cube with more literals covers fewer minterms.
+    """
+    return small <= big
+
+
+def cube_cofactor(cube: Cube, literal: Literal) -> Optional[Cube]:
+    """Shannon cofactor of a single cube with respect to ``literal``.
+
+    Returns the reduced cube, or ``None`` when the cofactor is empty
+    (the cube contains the complement literal).
+    """
+    if lit_negate(literal) in cube:
+        return None
+    return cube - {literal}
+
+
+def supercube(cubes: Iterable[Cube]) -> Cube:
+    """Smallest single cube containing every given cube.
+
+    This is the intersection of the literal sets: a literal survives only
+    if it appears in every cube.
+    """
+    cubes = list(cubes)
+    if not cubes:
+        return ONE_CUBE
+    common = set(cubes[0])
+    for cube in cubes[1:]:
+        common &= cube
+    return frozenset(common)
+
+
+def cube_str(cube: Cube) -> str:
+    """Render a cube as a product like ``a b' c``; ``1`` for the empty cube."""
+    if not cube:
+        return "1"
+    return " ".join(lit_str(l) for l in sorted(cube))
+
+
+def cube_distance(a: Cube, b: Cube) -> int:
+    """Number of variables appearing in opposite phases in ``a`` and ``b``.
+
+    Distance 0 means the cubes intersect; distance 1 means they can be
+    merged/consensused.
+    """
+    return sum(1 for literal in a if lit_negate(literal) in b)

@@ -1,0 +1,202 @@
+"""The technology-independent subject graph of base gates.
+
+After technology decomposition a circuit is a DAG whose internal
+vertices are **two-input NANDs and inverters** (the "base functions" of
+the paper), plus primary-input vertices.  This is the structure that is
+
+* placed to obtain the layout image used by the congestion-aware mapper,
+* partitioned into trees (Section 3.1), and
+* covered with library-cell pattern matches (Section 3.2).
+
+Vertices are identified by integer ids; the graph is append-only, which
+keeps ids stable across partitioning and covering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import NetworkError
+
+# Vertex kinds.
+PI = "pi"
+NAND2 = "nand2"
+INV = "inv"
+
+_ARITY = {PI: 0, NAND2: 2, INV: 1}
+
+
+class BaseNetwork:
+    """A DAG of NAND2/INV base gates with named primary inputs/outputs.
+
+    ``fanins[v]`` lists the fanin vertex ids of ``v`` (length 0, 1 or 2
+    depending on kind).  ``outputs`` maps primary-output names to the
+    vertex driving them.  Structure-hashing in :meth:`add_gate` keeps the
+    graph free of duplicate gates, mirroring what SIS's two-input
+    decomposition produces.
+    """
+
+    def __init__(self, name: str = "base"):  # noqa: D107
+        self.name = name
+        self.kind: List[str] = []
+        self.fanins: List[Tuple[int, ...]] = []
+        self.labels: List[Optional[str]] = []
+        self.input_vertex: Dict[str, int] = {}
+        self.outputs: Dict[str, int] = {}
+        self._hash: Dict[Tuple, int] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_input(self, name: str) -> int:
+        """Create a primary-input vertex."""
+        if name in self.input_vertex:
+            raise NetworkError(f"duplicate primary input {name!r}")
+        v = self._new_vertex(PI, (), label=name)
+        self.input_vertex[name] = v
+        return v
+
+    def add_gate(self, kind: str, fanins: Sequence[int]) -> int:
+        """Create (or reuse, via structural hashing) a base gate.
+
+        NAND2 fanins are stored sorted so the hash is input-order
+        insensitive (NAND2 is symmetric).
+        """
+        if kind not in (NAND2, INV):
+            raise NetworkError(f"unknown base gate kind {kind!r}")
+        if len(fanins) != _ARITY[kind]:
+            raise NetworkError(f"{kind} expects {_ARITY[kind]} fanins, got {len(fanins)}")
+        for f in fanins:
+            if not 0 <= f < len(self.kind):
+                raise NetworkError(f"fanin vertex {f} does not exist")
+        key: Tuple = (kind, tuple(sorted(fanins)))
+        existing = self._hash.get(key)
+        if existing is not None:
+            return existing
+        v = self._new_vertex(kind, tuple(fanins))
+        self._hash[key] = v
+        return v
+
+    def add_inv(self, fanin: int) -> int:
+        """Shorthand for an inverter gate."""
+        return self.add_gate(INV, (fanin,))
+
+    def add_nand2(self, a: int, b: int) -> int:
+        """Shorthand for a two-input NAND gate."""
+        return self.add_gate(NAND2, (a, b))
+
+    def set_output(self, name: str, vertex: int) -> None:
+        """Mark ``vertex`` as driving primary output ``name``."""
+        if not 0 <= vertex < len(self.kind):
+            raise NetworkError(f"output vertex {vertex} does not exist")
+        self.outputs[name] = vertex
+
+    def _new_vertex(self, kind: str, fanins: Tuple[int, ...],
+                    label: Optional[str] = None) -> int:
+        self.kind.append(kind)
+        self.fanins.append(fanins)
+        self.labels.append(label)
+        return len(self.kind) - 1
+
+    # -- queries ----------------------------------------------------------
+
+    def num_vertices(self) -> int:
+        """Total vertex count including primary inputs."""
+        return len(self.kind)
+
+    def num_gates(self) -> int:
+        """Count of base gates (NAND2 + INV), i.e. excluding inputs."""
+        return sum(1 for k in self.kind if k != PI)
+
+    def vertices(self) -> Iterator[int]:
+        """All vertex ids in creation (hence topological) order."""
+        return iter(range(len(self.kind)))
+
+    def gates(self) -> Iterator[int]:
+        """Ids of gate vertices only."""
+        return (v for v in self.vertices() if self.kind[v] != PI)
+
+    def is_pi(self, v: int) -> bool:
+        """True for primary-input vertices."""
+        return self.kind[v] == PI
+
+    def fanout_map(self) -> List[List[int]]:
+        """For each vertex, the list of vertices reading it."""
+        out: List[List[int]] = [[] for _ in range(len(self.kind))]
+        for v in self.vertices():
+            for f in self.fanins[v]:
+                out[f].append(v)
+        return out
+
+    def fanout_counts(self) -> List[int]:
+        """Fanout count per vertex, counting each PO use once."""
+        counts = [0] * len(self.kind)
+        for v in self.vertices():
+            for f in self.fanins[v]:
+                counts[f] += 1
+        for v in self.outputs.values():
+            counts[v] += 1
+        return counts
+
+    def roots(self) -> List[int]:
+        """Distinct primary-output driver vertices, in name order."""
+        seen: Set[int] = set()
+        out: List[int] = []
+        for name in sorted(self.outputs):
+            v = self.outputs[name]
+            if v not in seen:
+                seen.add(v)
+                out.append(v)
+        return out
+
+    def topological_order(self) -> List[int]:
+        """Vertex ids in fanin-before-fanout order.
+
+        Creation order already satisfies this because fanins must exist
+        before a gate is added; exposed as a method for symmetry with
+        :class:`BooleanNetwork`.
+        """
+        return list(self.vertices())
+
+    def transitive_fanin(self, roots: Iterable[int]) -> Set[int]:
+        """All vertices feeding (and including) the given roots."""
+        seen: Set[int] = set()
+        work = list(roots)
+        while work:
+            v = work.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            work.extend(self.fanins[v])
+        return seen
+
+    def check(self) -> None:
+        """Validate invariants: arities, topological creation order."""
+        for v in self.vertices():
+            kind = self.kind[v]
+            if kind not in _ARITY:
+                raise NetworkError(f"vertex {v} has unknown kind {kind!r}")
+            if len(self.fanins[v]) != _ARITY[kind]:
+                raise NetworkError(f"vertex {v} ({kind}) has bad arity")
+            for f in self.fanins[v]:
+                if f >= v:
+                    raise NetworkError(f"vertex {v} reads later vertex {f}")
+        for name, v in self.outputs.items():
+            if not 0 <= v < len(self.kind):
+                raise NetworkError(f"output {name!r} points at missing vertex")
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics: input/gate/NAND/INV/output counts."""
+        nands = sum(1 for k in self.kind if k == NAND2)
+        invs = sum(1 for k in self.kind if k == INV)
+        return {
+            "inputs": len(self.input_vertex),
+            "outputs": len(self.outputs),
+            "gates": nands + invs,
+            "nand2": nands,
+            "inv": invs,
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"BaseNetwork({self.name!r}, {s['inputs']} in, {s['outputs']} out, "
+                f"{s['nand2']} nand2 + {s['inv']} inv)")

@@ -1,0 +1,124 @@
+"""Technology decomposition: Boolean network -> NAND2/INV base network.
+
+This is the SIS ``tech_decomp -a 2 -o 2`` equivalent: every node's SOP is
+expanded into balanced trees of two-input ANDs and ORs, which are then
+expressed with the two base functions (two-input NAND and inverter) the
+paper's subject graphs consist of.  Structural hashing in
+:class:`repro.network.dag.BaseNetwork` shares inverters and identical
+gates, so common literals cost nothing extra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import NetworkError
+from .boolnet import BooleanNetwork
+from .dag import BaseNetwork
+from .sop import Sop
+
+
+class _Builder:
+    """Stateful helper building base gates with polarity bookkeeping."""
+
+    def __init__(self, base: BaseNetwork):  # noqa: D107
+        self.base = base
+
+    def inv(self, v: int) -> int:
+        """Inverter (hashed/shared), cancelling double inversions.
+
+        ``INV(INV(x)) == x`` — without this, OR trees built over negated
+        literals accumulate inverter pairs that bloat the subject graph
+        and hide larger cell matches from the mapper.
+        """
+        from .dag import INV
+        if self.base.kind[v] == INV:
+            return self.base.fanins[v][0]
+        return self.base.add_inv(v)
+
+    def and2(self, a: int, b: int) -> int:
+        """Two-input AND as INV(NAND2(a, b))."""
+        return self.inv(self.base.add_nand2(a, b))
+
+    def or2(self, a: int, b: int) -> int:
+        """Two-input OR as NAND2(INV(a), INV(b))."""
+        return self.base.add_nand2(self.inv(a), self.inv(b))
+
+    def balanced(self, vertices: List[int], combine) -> int:
+        """Reduce a list with a balanced binary tree of ``combine``."""
+        if not vertices:
+            raise NetworkError("cannot reduce an empty vertex list")
+        level = list(vertices)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(combine(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def constant(self, value: bool, any_vertex: int) -> int:
+        """A constant signal built from an arbitrary existing vertex.
+
+        ``NAND2(x, INV x)`` is identically 1; its inverse is 0.  Constant
+        nodes should normally be swept before decomposition; this keeps
+        decomposition total.
+        """
+        one = self.base.add_nand2(any_vertex, self.inv(any_vertex))
+        return one if value else self.inv(one)
+
+
+def decompose_sop(sop: Sop, literal_vertex, builder: _Builder,
+                  any_vertex: int) -> int:
+    """Decompose one SOP into base gates; returns the output vertex.
+
+    ``literal_vertex(name, phase)`` must return the vertex realising the
+    requested literal.
+    """
+    if sop.is_zero():
+        return builder.constant(False, any_vertex)
+    if sop.is_one():
+        return builder.constant(True, any_vertex)
+    cube_outputs: List[int] = []
+    for cube in sorted(sop.cubes, key=lambda c: sorted(c)):
+        lits = [literal_vertex(name, phase) for name, phase in sorted(cube)]
+        cube_outputs.append(builder.balanced(lits, builder.and2))
+    return builder.balanced(cube_outputs, builder.or2)
+
+
+def decompose(network: BooleanNetwork,
+              name: Optional[str] = None) -> BaseNetwork:
+    """Decompose a Boolean network into a NAND2/INV base network.
+
+    The resulting base network has the same primary input and output
+    names; its function is identical (verified by the test suite via
+    :func:`repro.network.equiv.check_boolnet_vs_base`).
+    """
+    network.check()
+    base = BaseNetwork(name or network.name + "_base")
+    builder = _Builder(base)
+    signal_vertex: Dict[str, int] = {}
+    for input_name in network.inputs:
+        signal_vertex[input_name] = base.add_input(input_name)
+    if not network.inputs and network.nodes:
+        raise NetworkError("cannot decompose a network with no primary inputs")
+    any_vertex = next(iter(signal_vertex.values())) if signal_vertex else None
+
+    def literal_vertex(sig: str, phase: bool) -> int:
+        v = signal_vertex[sig]
+        return v if phase else builder.inv(v)
+
+    for node_name in network.topological_order():
+        sop = network.nodes[node_name].sop
+        if any_vertex is None:
+            raise NetworkError("network has nodes but no inputs")
+        signal_vertex[node_name] = decompose_sop(
+            sop, literal_vertex, builder, any_vertex)
+
+    for output in network.outputs:
+        if output not in signal_vertex:
+            raise NetworkError(f"primary output {output!r} undefined")
+        base.set_output(output, signal_vertex[output])
+    base.check()
+    return base

@@ -1,0 +1,116 @@
+"""Simulation-based equivalence checking between netlist forms.
+
+Used pervasively by the test suite: decomposition and mapping must be
+function-preserving.  Checks are exhaustive for small input counts and
+random-vector otherwise (a standard, high-confidence proxy given the
+circuit generators used here are themselves randomized).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import NetworkError
+from .boolnet import BooleanNetwork
+from .dag import BaseNetwork
+from .simulate import (
+    exhaustive_stimulus,
+    random_stimulus,
+    simulate_base,
+    simulate_boolnet,
+    simulate_mapped,
+)
+
+#: Switch to exhaustive checking at or below this many inputs.
+EXHAUSTIVE_LIMIT = 12
+
+
+def _stimulus(names: Sequence[str], num_vectors: int, seed: int) -> Tuple[np.ndarray, int]:
+    """Stimulus for the given input names plus the count of valid vectors."""
+    if len(names) <= EXHAUSTIVE_LIMIT:
+        stim = exhaustive_stimulus(len(names))
+        return stim, 1 << len(names)
+    stim = random_stimulus(len(names), num_vectors, seed=seed)
+    return stim, stim.shape[1] * 64
+
+
+def _mask_tail(words: Dict[str, np.ndarray], valid: int) -> Dict[str, np.ndarray]:
+    """Zero out bits beyond ``valid`` vectors so comparisons ignore padding."""
+    total = next(iter(words.values())).shape[0] * 64 if words else 0
+    if not words or valid >= total:
+        return words
+    out: Dict[str, np.ndarray] = {}
+    full_words, rem = divmod(valid, 64)
+    for name, arr in words.items():
+        arr = arr.copy()
+        if rem:
+            keep = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
+            arr[full_words] &= keep
+            arr[full_words + 1:] = 0
+        else:
+            arr[full_words:] = 0
+        out[name] = arr
+    return out
+
+
+def _reorder(stimulus: np.ndarray, from_names: Sequence[str],
+             to_names: Sequence[str]) -> np.ndarray:
+    """Permute stimulus rows from one input ordering to another."""
+    index = {name: i for i, name in enumerate(from_names)}
+    try:
+        rows = [index[name] for name in to_names]
+    except KeyError as exc:
+        raise NetworkError(f"input name mismatch: {exc}") from exc
+    return stimulus[rows]
+
+
+def _compare(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray],
+             valid: int) -> Optional[str]:
+    """Return the first mismatching output name, or ``None``."""
+    if set(a) != set(b):
+        raise NetworkError(
+            f"output sets differ: {sorted(set(a) ^ set(b))}")
+    a = _mask_tail(a, valid)
+    b = _mask_tail(b, valid)
+    for name in sorted(a):
+        if not np.array_equal(a[name], b[name]):
+            return name
+    return None
+
+
+def check_boolnet_vs_base(boolnet: BooleanNetwork, base: BaseNetwork,
+                          num_vectors: int = 2048, seed: int = 1) -> None:
+    """Raise :class:`NetworkError` if the two differ on any output."""
+    stim, valid = _stimulus(boolnet.inputs, num_vectors, seed)
+    ref = simulate_boolnet(boolnet, stim)
+    base_names = sorted(base.input_vertex)
+    got = simulate_base(base, _reorder(stim, boolnet.inputs, base_names))
+    bad = _compare(ref, got, valid)
+    if bad is not None:
+        raise NetworkError(f"decomposition changed function of output {bad!r}")
+
+
+def check_base_vs_mapped(base: BaseNetwork, netlist, library,
+                         num_vectors: int = 2048, seed: int = 2) -> None:
+    """Raise :class:`NetworkError` if mapping changed any output function."""
+    base_names = sorted(base.input_vertex)
+    stim, valid = _stimulus(base_names, num_vectors, seed)
+    ref = simulate_base(base, stim)
+    got = simulate_mapped(netlist, library,
+                          _reorder(stim, base_names, netlist.inputs))
+    bad = _compare(ref, got, valid)
+    if bad is not None:
+        raise NetworkError(f"mapping changed function of output {bad!r}")
+
+
+def check_boolnet_vs_boolnet(a: BooleanNetwork, b: BooleanNetwork,
+                             num_vectors: int = 2048, seed: int = 3) -> None:
+    """Raise :class:`NetworkError` if two Boolean networks differ."""
+    stim, valid = _stimulus(a.inputs, num_vectors, seed)
+    ref = simulate_boolnet(a, stim)
+    got = simulate_boolnet(b, _reorder(stim, a.inputs, b.inputs))
+    bad = _compare(ref, got, valid)
+    if bad is not None:
+        raise NetworkError(f"optimization changed function of output {bad!r}")

@@ -1,0 +1,257 @@
+"""Sum-of-products expressions and their algebraic operations.
+
+An :class:`Sop` is a set of cubes (see :mod:`repro.network.cubes`)
+interpreted as their OR.  The algebraic (weak-division) model used by
+the SIS-style optimizer lives on top of these primitives:
+
+* literal counting (the cost function of technology-independent
+  synthesis — the paper relies on the classic result that factored-form
+  literal count correlates with cell area),
+* algebraic multiplication and division,
+* cofactors and single-cube containment minimisation.
+
+Instances are immutable; every operation returns a new :class:`Sop`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence
+
+from .cubes import (
+    Cube,
+    Literal,
+    ONE_CUBE,
+    cube_cofactor,
+    cube_contains,
+    cube_mul,
+    cube_str,
+    cube_vars,
+    lit,
+    make_cube,
+)
+
+
+class Sop:
+    """An immutable sum-of-products expression.
+
+    The zero function is the empty set of cubes; the one function is the
+    set containing only the empty cube.
+    """
+
+    __slots__ = ("_cubes",)
+
+    def __init__(self, cubes: Iterable[Cube] = ()):  # noqa: D107
+        self._cubes: FrozenSet[Cube] = frozenset(cubes)
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Sop":
+        """The constant-0 function."""
+        return cls()
+
+    @classmethod
+    def one(cls) -> "Sop":
+        """The constant-1 function."""
+        return cls([ONE_CUBE])
+
+    @classmethod
+    def literal(cls, name: str, phase: bool = True) -> "Sop":
+        """A single-literal function."""
+        return cls([frozenset([lit(name, phase)])])
+
+    @classmethod
+    def from_cubes(cls, cube_literals: Iterable[Iterable[Literal]]) -> "Sop":
+        """Build from an iterable of literal collections, dropping null cubes."""
+        cubes = []
+        for lits in cube_literals:
+            cube = make_cube(lits)
+            if cube is not None:
+                cubes.append(cube)
+        return cls(cubes)
+
+    # -- basic protocol ------------------------------------------------
+
+    @property
+    def cubes(self) -> FrozenSet[Cube]:
+        """The cube set."""
+        return self._cubes
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self._cubes)
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __bool__(self) -> bool:
+        return bool(self._cubes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sop):
+            return NotImplemented
+        return self._cubes == other._cubes
+
+    def __hash__(self) -> int:
+        return hash(self._cubes)
+
+    def __repr__(self) -> str:
+        return f"Sop({self.to_string()!r})"
+
+    def to_string(self) -> str:
+        """Render as ``a b' + c`` (deterministic cube order)."""
+        if not self._cubes:
+            return "0"
+        parts = sorted(cube_str(c) for c in self._cubes)
+        return " + ".join(parts)
+
+    # -- structure -----------------------------------------------------
+
+    def is_zero(self) -> bool:
+        """True for the constant-0 function."""
+        return not self._cubes
+
+    def is_one(self) -> bool:
+        """True when the expression contains the constant-1 cube."""
+        return ONE_CUBE in self._cubes
+
+    def support(self) -> FrozenSet[str]:
+        """Variable names appearing anywhere in the expression."""
+        names: set = set()
+        for cube in self._cubes:
+            names.update(cube_vars(cube))
+        return frozenset(names)
+
+    def literals(self) -> FrozenSet[Literal]:
+        """Distinct literals appearing anywhere in the expression."""
+        out: set = set()
+        for cube in self._cubes:
+            out.update(cube)
+        return frozenset(out)
+
+    def num_literals(self) -> int:
+        """Total literal count (SOP form), the classic area proxy."""
+        return sum(len(cube) for cube in self._cubes)
+
+    def literal_counts(self) -> Dict[Literal, int]:
+        """How many cubes each literal appears in."""
+        counts: Dict[Literal, int] = {}
+        for cube in self._cubes:
+            for literal in cube:
+                counts[literal] = counts.get(literal, 0) + 1
+        return counts
+
+    def is_cube_free(self) -> bool:
+        """True when no single literal divides every cube.
+
+        Kernels are by definition cube-free; the constant expressions are
+        conventionally not cube-free.
+        """
+        if len(self._cubes) <= 1:
+            return False
+        common = set(next(iter(self._cubes)))
+        for cube in self._cubes:
+            common &= cube
+            if not common:
+                return True
+        return not common
+
+    # -- algebra -------------------------------------------------------
+
+    def add(self, other: "Sop") -> "Sop":
+        """OR of two expressions (cube-set union)."""
+        return Sop(self._cubes | other._cubes)
+
+    def mul_cube(self, cube: Cube) -> "Sop":
+        """Algebraic product with a single cube."""
+        out = []
+        for own in self._cubes:
+            product = cube_mul(own, cube)
+            if product is not None:
+                out.append(product)
+        return Sop(out)
+
+    def mul(self, other: "Sop") -> "Sop":
+        """Algebraic product of two expressions."""
+        out = []
+        for a in self._cubes:
+            for b in other._cubes:
+                product = cube_mul(a, b)
+                if product is not None:
+                    out.append(product)
+        return Sop(out)
+
+    def cofactor(self, literal: Literal) -> "Sop":
+        """Shannon cofactor with respect to ``literal``."""
+        out = []
+        for cube in self._cubes:
+            reduced = cube_cofactor(cube, literal)
+            if reduced is not None:
+                out.append(reduced)
+        return Sop(out)
+
+    def restrict(self, assignment: Dict[str, bool]) -> "Sop":
+        """Cofactor against a partial variable assignment."""
+        result = self
+        for name, value in assignment.items():
+            result = result.cofactor(lit(name, value))
+        return result
+
+    def remove_scc(self) -> "Sop":
+        """Single-cube-containment minimisation.
+
+        Drops every cube covered by (i.e. a superset of the literals of)
+        another cube.  This is the cheap containment cleanup SIS applies
+        after algebraic rewrites; it preserves the function exactly.
+        """
+        cubes: List[Cube] = sorted(self._cubes, key=len)
+        kept: List[Cube] = []
+        for cube in cubes:
+            if not any(cube_contains(cube, small) for small in kept):
+                kept.append(cube)
+        return Sop(kept)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a complete assignment of the support."""
+        for cube in self._cubes:
+            if all(assignment[name] == phase for name, phase in cube):
+                return True
+        return False
+
+    # -- convenience builders used throughout the code base -------------
+
+    @classmethod
+    def and_of(cls, names: Sequence[str]) -> "Sop":
+        """AND of positive literals."""
+        cube = make_cube([lit(n) for n in names])
+        if cube is None:
+            return cls.zero()
+        return cls([cube])
+
+    @classmethod
+    def or_of(cls, names: Sequence[str]) -> "Sop":
+        """OR of positive literals."""
+        return cls([frozenset([lit(n)]) for n in names])
+
+
+def parse_sop(text: str) -> Sop:
+    """Parse ``a b' + c`` style expressions (inverse of :meth:`Sop.to_string`).
+
+    ``0`` and ``1`` denote the constants.  Whitespace separates literals
+    within a cube; ``+`` separates cubes; a trailing apostrophe
+    complements a literal.
+    """
+    text = text.strip()
+    if text == "0":
+        return Sop.zero()
+    if text == "1":
+        return Sop.one()
+    cube_literals = []
+    for cube_text in text.split("+"):
+        lits = []
+        for token in cube_text.split():
+            if token.endswith("'"):
+                lits.append(lit(token[:-1], False))
+            else:
+                lits.append(lit(token, True))
+        cube_literals.append(lits)
+    return Sop.from_cubes(cube_literals)

@@ -1,0 +1,87 @@
+"""Simulated-annealing placement refinement.
+
+A classic swap/relocate annealer over a legalized row placement,
+minimising half-perimeter wirelength.  Too slow for the large
+benchmark circuits (the quadratic flow handles those); used to polish
+small blocks and as an independent reference placer in tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .floorplan import Floorplan
+
+Point = Tuple[float, float]
+
+
+def hpwl(positions: np.ndarray, nets: Sequence[Sequence[int]],
+         fixed: Sequence[Sequence[Point]]) -> float:
+    """Total half-perimeter wirelength over all nets."""
+    total = 0.0
+    for movables, pads in zip(nets, fixed):
+        xs: List[float] = [positions[i, 0] for i in movables]
+        ys: List[float] = [positions[i, 1] for i in movables]
+        for (px, py) in pads:
+            xs.append(px)
+            ys.append(py)
+        if len(xs) >= 2:
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+def anneal(positions: np.ndarray, nets: Sequence[Sequence[int]],
+           fixed: Sequence[Sequence[Point]], floorplan: Floorplan,
+           moves: int = 20_000, seed: int = 0,
+           start_temp: Optional[float] = None) -> np.ndarray:
+    """Anneal by swapping cell positions; returns improved positions.
+
+    Swapping positions of equal-footprint treatment keeps legality
+    approximately intact for the uniform-size use case (base networks);
+    for mapped netlists run :func:`repro.place.legalize.legalize_rows`
+    afterwards.
+    """
+    n = positions.shape[0]
+    if n < 2 or moves <= 0:
+        return positions.copy()
+    rng = random.Random(seed)
+    pos = positions.astype(float).copy()
+
+    # Incremental evaluation: nets touching each cell.
+    nets_of: Dict[int, List[int]] = {}
+    for net_id, movables in enumerate(nets):
+        for cell in movables:
+            nets_of.setdefault(cell, []).append(net_id)
+
+    def net_len(net_id: int) -> float:
+        movables = nets[net_id]
+        pads = fixed[net_id]
+        xs = [pos[i, 0] for i in movables] + [p[0] for p in pads]
+        ys = [pos[i, 1] for i in movables] + [p[1] for p in pads]
+        if len(xs) < 2:
+            return 0.0
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    current = sum(net_len(i) for i in range(len(nets)))
+    temp = start_temp if start_temp is not None else current / max(1, len(nets)) or 1.0
+    cooling = 0.98 ** (1.0 / max(1, moves // 100))
+    for _ in range(moves):
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b:
+            continue
+        touched = sorted(set(nets_of.get(a, []) + nets_of.get(b, [])))
+        before = sum(net_len(t) for t in touched)
+        pos[[a, b]] = pos[[b, a]]
+        after = sum(net_len(t) for t in touched)
+        delta = after - before
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
+            current += delta
+        else:
+            pos[[a, b]] = pos[[b, a]]
+        temp *= cooling
+    return pos

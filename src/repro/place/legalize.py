@@ -1,0 +1,99 @@
+"""Row legalization (Tetris-style) for standard-cell placements.
+
+Cells are snapped onto rows without overlap: processed in x order, each
+cell is placed at the end of the row cursor that minimises its
+displacement.  Raises :class:`PlacementError` when the die cannot hold
+the cells at all (total width exceeding row capacity), which is the
+placement-level "does not fit" failure the paper's area arguments are
+about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PlacementError
+from .floorplan import Floorplan
+
+Point = Tuple[float, float]
+
+
+def legalize_rows(positions: np.ndarray, widths: Sequence[float],
+                  floorplan: Floorplan,
+                  row_search: int = 6) -> np.ndarray:
+    """Legalize (n, 2) positions into rows; returns new (n, 2) array.
+
+    Each output position is the *center* of the placed cell;
+    y coordinates are row centers.  ``row_search`` bounds how many rows
+    above/below the target row are tried before widening the search.
+    """
+    n = positions.shape[0]
+    widths = np.asarray(widths, dtype=float)
+    if widths.shape[0] != n:
+        raise PlacementError("widths length does not match positions")
+    total_width = float(widths.sum())
+    capacity = floorplan.width * floorplan.num_rows
+    if total_width > capacity + 1e-6:
+        raise PlacementError(
+            f"cells ({total_width:.0f} µm) exceed row capacity "
+            f"({capacity:.0f} µm): die too small")
+    cursors = np.zeros(floorplan.num_rows)
+    out = np.zeros_like(positions, dtype=float)
+    order = np.argsort(positions[:, 0], kind="stable")
+    for i in order:
+        x, y = positions[i]
+        width = widths[i]
+        target = int(np.clip(y / floorplan.row_height, 0,
+                             floorplan.num_rows - 1))
+        best_row = -1
+        best_cost = float("inf")
+        radius = row_search
+        while best_row < 0:
+            lo = max(0, target - radius)
+            hi = min(floorplan.num_rows - 1, target + radius)
+            for row in range(lo, hi + 1):
+                if cursors[row] + width > floorplan.width + 1e-9:
+                    continue
+                place_x = cursors[row]
+                cost = (abs(place_x + width / 2.0 - x)
+                        + abs(floorplan.row_y(row) - y))
+                if cost < best_cost:
+                    best_cost = cost
+                    best_row = row
+            if best_row < 0:
+                if lo == 0 and hi == floorplan.num_rows - 1:
+                    raise PlacementError(
+                        "legalization failed: no row can accept cell "
+                        f"{i} (width {width:.2f})")
+                radius *= 2
+        out[i, 0] = cursors[best_row] + width / 2.0
+        out[i, 1] = floorplan.row_y(best_row)
+        cursors[best_row] += width
+    return out
+
+
+def check_legal(positions: np.ndarray, widths: Sequence[float],
+                floorplan: Floorplan, tolerance: float = 1e-6) -> None:
+    """Raise :class:`PlacementError` on overlap or out-of-die cells."""
+    n = positions.shape[0]
+    widths = np.asarray(widths, dtype=float)
+    by_row: Dict[int, List[Tuple[float, float]]] = {}
+    for i in range(n):
+        x, y = positions[i]
+        row = int(round(y / floorplan.row_height - 0.5))
+        if abs(floorplan.row_y(row) - y) > tolerance:
+            raise PlacementError(f"cell {i} is not on a row (y={y})")
+        left = x - widths[i] / 2.0
+        right = x + widths[i] / 2.0
+        if left < -tolerance or right > floorplan.width + tolerance:
+            raise PlacementError(f"cell {i} extends outside the die")
+        by_row.setdefault(row, []).append((left, right))
+    for row, spans in by_row.items():
+        spans.sort()
+        for (l1, r1), (l2, r2) in zip(spans, spans[1:]):
+            if r1 > l2 + tolerance:
+                raise PlacementError(
+                    f"overlap in row {row}: [{l1:.2f},{r1:.2f}] vs "
+                    f"[{l2:.2f},{r2:.2f}]")

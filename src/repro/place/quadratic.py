@@ -1,0 +1,134 @@
+"""Quadratic (analytical) global placement.
+
+Minimises the squared-wirelength objective over movable nodes with
+fixed pad terminals: for each coordinate the optimum solves a sparse
+linear system ``L x = b`` where ``L`` is the connectivity Laplacian and
+``b`` collects the pad anchors.  Nets are modeled as cliques (small
+nets) or stars with an auxiliary movable node (large nets) — the
+standard hybrid that keeps the system sparse on high-fanout PLA-style
+netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+Point = Tuple[float, float]
+
+#: Nets with more pins than this use a star node instead of a clique.
+CLIQUE_LIMIT = 6
+
+
+@dataclass
+class QpNet:
+    """One net for the analytical solver.
+
+    ``movables`` are indices of movable nodes; ``fixed`` are fixed
+    terminal coordinates (pads, already-placed blocks).
+    """
+
+    movables: List[int]
+    fixed: List[Point] = field(default_factory=list)
+
+    def degree(self) -> int:
+        """Total pin count."""
+        return len(self.movables) + len(self.fixed)
+
+
+def solve_quadratic(num_movable: int, nets: Sequence[QpNet],
+                    default: Point = (0.0, 0.0)) -> np.ndarray:
+    """Solve the quadratic placement; returns an (n, 2) position array.
+
+    Nodes not touched by any net stay at ``default``.  Raises
+    :class:`PlacementError` when the system is singular (no fixed
+    terminal anywhere in a connected component is tolerated by falling
+    back to a tiny regularisation).
+    """
+    if num_movable == 0:
+        return np.zeros((0, 2))
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    diag = np.zeros(num_movable)
+    bx = np.zeros(num_movable)
+    by = np.zeros(num_movable)
+
+    star_points: List[QpNet] = []
+    num_star = 0
+    for net in nets:
+        if net.degree() < 2:
+            continue
+        if net.degree() <= CLIQUE_LIMIT:
+            _add_clique(net, rows, cols, vals, diag, bx, by)
+        else:
+            star_points.append(net)
+            num_star += 1
+
+    n = num_movable + num_star
+    if num_star:
+        diag = np.concatenate([diag, np.zeros(num_star)])
+        bx = np.concatenate([bx, np.zeros(num_star)])
+        by = np.concatenate([by, np.zeros(num_star)])
+        for i, net in enumerate(star_points):
+            star = num_movable + i
+            weight = 1.0  # per spoke
+            for m in net.movables:
+                _add_edge(m, star, weight, rows, cols, vals, diag)
+            for (fx, fy) in net.fixed:
+                diag[star] += weight
+                bx[star] += weight * fx
+                by[star] += weight * fy
+
+    # Tiny regularisation keeps components without anchors solvable.
+    diag = diag + 1e-9
+    lap = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    lap = lap + sp.diags(diag)
+    x = _solve(lap, bx)
+    y = _solve(lap, by)
+    out = np.column_stack([x[:num_movable], y[:num_movable]])
+    untouched = diag[:num_movable] <= 2e-9
+    out[untouched] = default
+    return out
+
+
+def _add_clique(net: QpNet, rows: List[int], cols: List[int],
+                vals: List[float], diag: np.ndarray,
+                bx: np.ndarray, by: np.ndarray) -> None:
+    degree = net.degree()
+    weight = 2.0 / degree
+    movs = net.movables
+    for i in range(len(movs)):
+        for j in range(i + 1, len(movs)):
+            _add_edge(movs[i], movs[j], weight, rows, cols, vals, diag)
+        for (fx, fy) in net.fixed:
+            diag[movs[i]] += weight
+            bx[movs[i]] += weight * fx
+            by[movs[i]] += weight * fy
+
+
+def _add_edge(i: int, j: int, weight: float, rows: List[int],
+              cols: List[int], vals: List[float], diag: np.ndarray) -> None:
+    rows.extend((i, j))
+    cols.extend((j, i))
+    vals.extend((-weight, -weight))
+    if i < len(diag):
+        diag[i] += weight
+    if j < len(diag):
+        diag[j] += weight
+
+
+def _solve(lap: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray:
+    """Sparse SPD solve: direct for small systems, CG for large ones."""
+    n = lap.shape[0]
+    if n <= 4000:
+        return spla.spsolve(lap.tocsc(), rhs)
+    solution, info = spla.cg(lap, rhs, rtol=1e-7, maxiter=2000)
+    if info != 0:
+        solution = spla.spsolve(lap.tocsc(), rhs)
+    return solution

@@ -1,0 +1,87 @@
+"""Cell spreading: recursive bisection of the analytical solution.
+
+A raw quadratic solution collapses cells toward the die center.  This
+pass recursively splits the cell population at the median and assigns
+each half to the matching half of the region, preserving relative order
+(hence locality) while distributing cells across the whole core — a
+simplified whitespace-allocation step in the spirit of modern
+analytical placers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .floorplan import Floorplan
+
+#: Stop recursing below this population and scale cells into the region.
+LEAF_POPULATION = 4
+
+
+def spread(positions: np.ndarray, floorplan: Floorplan,
+           weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Spread ``positions`` (n, 2) uniformly over the core.
+
+    ``weights`` (cell areas) bias the split so each sub-region receives
+    population proportional to its capacity; uniform when omitted.
+    Returns a new (n, 2) array.
+    """
+    n = positions.shape[0]
+    if n == 0:
+        return positions.copy()
+    if weights is None:
+        weights = np.ones(n)
+    out = positions.astype(float).copy()
+    index = np.arange(n)
+    _spread_region(out, index, weights,
+                   0.0, 0.0, floorplan.width, floorplan.height, vertical=True)
+    return out
+
+
+def _spread_region(out: np.ndarray, index: np.ndarray, weights: np.ndarray,
+                   x0: float, y0: float, x1: float, y1: float,
+                   vertical: bool) -> None:
+    """Recursively place the cells of ``index`` into [x0,x1]×[y0,y1]."""
+    if index.size == 0:
+        return
+    if index.size <= LEAF_POPULATION:
+        _scale_into(out, index, x0, y0, x1, y1)
+        return
+    # Split along the longer dimension for round regions; otherwise
+    # alternate as requested.
+    if (x1 - x0) > 1.5 * (y1 - y0):
+        vertical = True
+    elif (y1 - y0) > 1.5 * (x1 - x0):
+        vertical = False
+    axis = 0 if vertical else 1
+    order = index[np.argsort(out[index, axis], kind="stable")]
+    total = weights[order].sum()
+    half = np.searchsorted(np.cumsum(weights[order]), total / 2.0) + 1
+    half = min(max(int(half), 1), order.size - 1)
+    left, right = order[:half], order[half:]
+    frac = weights[left].sum() / total if total > 0 else 0.5
+    frac = min(max(frac, 0.05), 0.95)
+    if vertical:
+        xm = x0 + (x1 - x0) * frac
+        _spread_region(out, left, weights, x0, y0, xm, y1, not vertical)
+        _spread_region(out, right, weights, xm, y0, x1, y1, not vertical)
+    else:
+        ym = y0 + (y1 - y0) * frac
+        _spread_region(out, left, weights, x0, y0, x1, ym, not vertical)
+        _spread_region(out, right, weights, x0, ym, x1, y1, not vertical)
+
+
+def _scale_into(out: np.ndarray, index: np.ndarray,
+                x0: float, y0: float, x1: float, y1: float) -> None:
+    """Min-max scale the indexed points into the region interior."""
+    for axis, (lo, hi) in enumerate(((x0, x1), (y0, y1))):
+        coords = out[index, axis]
+        span = coords.max() - coords.min()
+        pad = 0.25 * (hi - lo)
+        if span < 1e-12:
+            out[index, axis] = (lo + hi) / 2.0
+        else:
+            out[index, axis] = (lo + pad) + (coords - coords.min()) / span \
+                * ((hi - pad) - (lo + pad))

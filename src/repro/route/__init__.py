@@ -1,0 +1,26 @@
+"""Global-routing substrate: grid, maze routing, congestion maps."""
+
+from .congestion import CongestionStats, congestion_stats, render_congestion_map
+from .grid import GCell, HORIZONTAL, RoutingGrid, RoutingResources, VERTICAL
+from .maze import l_route_edges, maze_route
+from .router import GlobalRouter, NetRoute, RoutingResult
+from .steiner import hpwl_of_points, manhattan, mst_segments
+
+__all__ = [
+    "CongestionStats",
+    "GCell",
+    "GlobalRouter",
+    "HORIZONTAL",
+    "NetRoute",
+    "RoutingGrid",
+    "RoutingResources",
+    "RoutingResult",
+    "VERTICAL",
+    "congestion_stats",
+    "hpwl_of_points",
+    "l_route_edges",
+    "manhattan",
+    "maze_route",
+    "mst_segments",
+    "render_congestion_map",
+]

@@ -1,0 +1,69 @@
+"""Congestion-map evaluation and reporting (Figure 3's decision box).
+
+The methodology loop of Section 5 gates on a *congestion map* computed
+from global placement and coarse routing — much cheaper than detailed
+place & route.  This module wraps the routing grid into that map, with
+summary statistics and an ASCII rendering for interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .grid import HORIZONTAL, RoutingGrid, VERTICAL
+from .router import RoutingResult
+
+
+@dataclass
+class CongestionStats:
+    """Summary of a congestion map."""
+
+    violations: int           # total track overflow
+    overflowed_nets: int
+    max_edge_overflow: int
+    mean_utilization: float   # mean demand/capacity over edges
+    peak_utilization: float
+    congested_fraction: float  # share of edges above 90% utilization
+
+    @property
+    def acceptable(self) -> bool:
+        """The Figure 3 gate: proceed to detailed P&R?"""
+        return self.violations == 0
+
+
+def congestion_stats(result: RoutingResult,
+                     hot_threshold: float = 0.9) -> CongestionStats:
+    """Compute summary statistics from a routing result."""
+    grid = result.grid
+    utils: List[float] = []
+    for direction, cap in ((HORIZONTAL, grid.hcap), (VERTICAL, grid.vcap)):
+        utils.append(grid.demand[direction].astype(float).ravel() / cap)
+    all_util = np.concatenate(utils)
+    return CongestionStats(
+        violations=result.violations,
+        overflowed_nets=result.overflowed_nets,
+        max_edge_overflow=grid.overflow_max(),
+        mean_utilization=float(all_util.mean()) if all_util.size else 0.0,
+        peak_utilization=float(all_util.max()) if all_util.size else 0.0,
+        congested_fraction=float((all_util > hot_threshold).mean())
+        if all_util.size else 0.0,
+    )
+
+
+def render_congestion_map(grid: RoutingGrid, width: int = 0) -> str:
+    """ASCII heat map of GCell congestion (darker = more congested)."""
+    shades = " .:-=+*#%@"
+    util = grid.utilization_map()
+    lines: List[str] = []
+    for y in range(grid.ny - 1, -1, -1):
+        row = []
+        for x in range(grid.nx):
+            level = min(int(util[x, y] * (len(shades) - 1)), len(shades) - 1)
+            row.append(shades[max(level, 0)])
+        lines.append("".join(row))
+    header = (f"congestion map {grid.nx}x{grid.ny} "
+              f"(hcap={grid.hcap}, vcap={grid.vcap})")
+    return header + "\n" + "\n".join(lines)

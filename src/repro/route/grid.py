@@ -1,0 +1,162 @@
+"""Global-routing grid (GCells) and routing-resource model.
+
+The die is tiled into GCells; each boundary between adjacent GCells is
+an *edge* with a track capacity derived from the metal stack — the
+paper's experiments fix **three metal layers**, which is what makes the
+routability window in its Tables 2/4 exist at all.
+
+Capacity model: with three layers, M2 carries vertical tracks, M3
+horizontal tracks, and M1 contributes a partial share (the rest is used
+inside the cells).  Tracks per edge = (usable layers) × gcell span /
+track pitch × derate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..place.floorplan import Floorplan
+
+Point = Tuple[float, float]
+GCell = Tuple[int, int]
+
+HORIZONTAL = 0
+VERTICAL = 1
+
+
+@dataclass(frozen=True)
+class RoutingResources:
+    """The metal stack available to the router."""
+
+    metal_layers: int = 3
+    track_pitch: float = 0.56     # µm (0.18 µm-class M2/M3 pitch)
+    m1_usable: float = 0.25       # share of M1 left over after cell use
+    derate: float = 0.80          # blockage / via / manufacturing margin
+
+    def __post_init__(self) -> None:  # noqa: D105
+        if self.metal_layers < 2:
+            raise RoutingError("need at least two metal layers to route")
+
+    def layer_shares(self) -> Tuple[float, float]:
+        """(horizontal, vertical) effective full-layer counts.
+
+        Convention: M1 horizontal (partial), M2 vertical, M3 horizontal,
+        M4 vertical, ...
+        """
+        horizontal = self.m1_usable
+        vertical = 0.0
+        for layer in range(2, self.metal_layers + 1):
+            if layer % 2 == 0:
+                vertical += 1.0
+            else:
+                horizontal += 1.0
+        return horizontal, vertical
+
+
+class RoutingGrid:
+    """GCell grid with per-edge demand/capacity bookkeeping.
+
+    Horizontal edges connect (x, y) to (x+1, y) — they consume
+    horizontal tracks; vertical edges connect (x, y) to (x, y+1).
+    """
+
+    def __init__(self, floorplan: Floorplan, resources: RoutingResources,
+                 gcell_rows: int = 2):  # noqa: D107
+        self.floorplan = floorplan
+        self.resources = resources
+        gcell_h = gcell_rows * floorplan.row_height
+        self.ny = max(2, int(round(floorplan.height / gcell_h)))
+        self.nx = max(2, int(round(floorplan.width / gcell_h)))
+        self.gw = floorplan.width / self.nx
+        self.gh = floorplan.height / self.ny
+        h_share, v_share = resources.layer_shares()
+        self.hcap = max(1, int(self.gh / resources.track_pitch
+                               * h_share * resources.derate))
+        self.vcap = max(1, int(self.gw / resources.track_pitch
+                               * v_share * resources.derate))
+        # demand[HORIZONTAL]: (nx-1, ny); demand[VERTICAL]: (nx, ny-1)
+        self.demand = [np.zeros((self.nx - 1, self.ny), dtype=np.int32),
+                       np.zeros((self.nx, self.ny - 1), dtype=np.int32)]
+        self.history = [np.zeros((self.nx - 1, self.ny), dtype=np.float64),
+                        np.zeros((self.nx, self.ny - 1), dtype=np.float64)]
+
+    # -- coordinate mapping -----------------------------------------------
+
+    def gcell_of(self, point: Point) -> GCell:
+        """The GCell containing a die point (clamped to the core)."""
+        x = int(np.clip(point[0] / self.gw, 0, self.nx - 1))
+        y = int(np.clip(point[1] / self.gh, 0, self.ny - 1))
+        return (x, y)
+
+    def gcell_center(self, cell: GCell) -> Point:
+        """Die coordinates of a GCell center."""
+        return ((cell[0] + 0.5) * self.gw, (cell[1] + 0.5) * self.gh)
+
+    # -- edges ----------------------------------------------------------
+
+    def edge_between(self, a: GCell, b: GCell) -> Tuple[int, int, int]:
+        """(direction, ex, ey) of the edge joining two adjacent GCells."""
+        (ax, ay), (bx, by) = a, b
+        if ay == by and abs(ax - bx) == 1:
+            return (HORIZONTAL, min(ax, bx), ay)
+        if ax == bx and abs(ay - by) == 1:
+            return (VERTICAL, ax, min(ay, by))
+        raise RoutingError(f"gcells {a} and {b} are not adjacent")
+
+    def capacity(self, direction: int) -> int:
+        """Track capacity of edges in a direction."""
+        return self.hcap if direction == HORIZONTAL else self.vcap
+
+    def edge_length(self, direction: int) -> float:
+        """Physical length (µm) represented by one edge crossing."""
+        return self.gw if direction == HORIZONTAL else self.gh
+
+    def add_demand(self, edges: Iterable[Tuple[int, int, int]],
+                   amount: int = 1) -> None:
+        """Adjust demand on a set of edges."""
+        for direction, ex, ey in edges:
+            self.demand[direction][ex, ey] += amount
+
+    def overflow_total(self) -> int:
+        """Total demand above capacity (the routing-violation proxy)."""
+        over_h = np.maximum(self.demand[HORIZONTAL] - self.hcap, 0).sum()
+        over_v = np.maximum(self.demand[VERTICAL] - self.vcap, 0).sum()
+        return int(over_h + over_v)
+
+    def overflow_max(self) -> int:
+        """Worst single-edge overflow."""
+        over_h = np.maximum(self.demand[HORIZONTAL] - self.hcap, 0)
+        over_v = np.maximum(self.demand[VERTICAL] - self.vcap, 0)
+        return int(max(over_h.max(initial=0), over_v.max(initial=0)))
+
+    def overflowed_edges(self) -> List[Tuple[int, int, int]]:
+        """All edges whose demand exceeds capacity."""
+        out: List[Tuple[int, int, int]] = []
+        for direction, cap in ((HORIZONTAL, self.hcap), (VERTICAL, self.vcap)):
+            xs, ys = np.nonzero(self.demand[direction] > cap)
+            out.extend((direction, int(x), int(y)) for x, y in zip(xs, ys))
+        return out
+
+    def edge_congestion(self, direction: int, ex: int, ey: int) -> float:
+        """demand / capacity of one edge."""
+        return float(self.demand[direction][ex, ey]) / self.capacity(direction)
+
+    def utilization_map(self) -> np.ndarray:
+        """(nx, ny) max surrounding-edge congestion per GCell."""
+        util = np.zeros((self.nx, self.ny))
+        dh = self.demand[HORIZONTAL] / self.hcap
+        dv = self.demand[VERTICAL] / self.vcap
+        util[:-1, :] = np.maximum(util[:-1, :], dh)
+        util[1:, :] = np.maximum(util[1:, :], dh)
+        util[:, :-1] = np.maximum(util[:, :-1], dv)
+        util[:, 1:] = np.maximum(util[:, 1:], dv)
+        return util
+
+    def reset_demand(self) -> None:
+        """Clear all demand (history is kept)."""
+        self.demand[HORIZONTAL][:] = 0
+        self.demand[VERTICAL][:] = 0

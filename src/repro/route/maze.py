@@ -1,0 +1,135 @@
+"""Congestion-aware maze routing (PathFinder-style cost).
+
+A* search over the GCell graph for one two-pin connection.  Edge cost
+combines a unit base cost, a present-congestion penalty and accumulated
+history, which is the negotiation mechanism that lets the rip-up-and-
+reroute loop converge on routable designs and expose true overflow on
+unroutable ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from .grid import GCell, HORIZONTAL, RoutingGrid, VERTICAL
+
+#: Cost multiplier per unit of (would-be) overflow on an edge.
+OVERFLOW_PENALTY = 8.0
+#: Weight of accumulated history cost.
+HISTORY_WEIGHT = 1.0
+#: Bounding-box margin (in GCells) around the two pins.
+BBOX_MARGIN = 6
+
+
+def edge_cost(grid: RoutingGrid, direction: int, ex: int, ey: int,
+              overflow_penalty: float = OVERFLOW_PENALTY) -> float:
+    """Cost of pushing one more track through an edge."""
+    demand = grid.demand[direction][ex, ey]
+    capacity = grid.capacity(direction)
+    cost = 1.0 + HISTORY_WEIGHT * grid.history[direction][ex, ey]
+    if demand + 1 > capacity:
+        cost += overflow_penalty * (demand + 1 - capacity)
+    return cost
+
+
+def maze_route(grid: RoutingGrid, source: GCell, target: GCell,
+               margin: int = BBOX_MARGIN,
+               overflow_penalty: float = OVERFLOW_PENALTY
+               ) -> List[Tuple[int, int, int]]:
+    """A* route between two GCells; returns the list of edges used.
+
+    The search is restricted to the pin bounding box plus ``margin``
+    GCells of detour room (detours are exactly the wire meandering the
+    paper attributes congestion-induced delay to).
+    """
+    if source == target:
+        return []
+    x_lo = max(0, min(source[0], target[0]) - margin)
+    x_hi = min(grid.nx - 1, max(source[0], target[0]) + margin)
+    y_lo = max(0, min(source[1], target[1]) - margin)
+    y_hi = min(grid.ny - 1, max(source[1], target[1]) + margin)
+
+    tx, ty = target
+    # Hot loop: hoist array and scalar lookups out of the search.
+    demand_h = grid.demand[HORIZONTAL]
+    demand_v = grid.demand[VERTICAL]
+    history_h = grid.history[HORIZONTAL]
+    history_v = grid.history[VERTICAL]
+    hcap = grid.hcap
+    vcap = grid.vcap
+    inf = float("inf")
+
+    best: Dict[GCell, float] = {source: 0.0}
+    parent: Dict[GCell, GCell] = {}
+    heap: List[Tuple[float, float, GCell]] = [
+        (abs(source[0] - tx) + abs(source[1] - ty), 0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        _, g, cell = pop(heap)
+        if cell == target:
+            break
+        if g > best.get(cell, inf):
+            continue
+        cx, cy = cell
+        for nxt, horizontal, ex, ey in (
+                ((cx - 1, cy), True, cx - 1, cy),
+                ((cx + 1, cy), True, cx, cy),
+                ((cx, cy - 1), False, cx, cy - 1),
+                ((cx, cy + 1), False, cx, cy)):
+            nx, ny = nxt
+            if not (x_lo <= nx <= x_hi and y_lo <= ny <= y_hi):
+                continue
+            if horizontal:
+                demand = demand_h[ex, ey]
+                cost = 1.0 + HISTORY_WEIGHT * history_h[ex, ey]
+                if demand + 1 > hcap:
+                    cost += overflow_penalty * (demand + 1 - hcap)
+            else:
+                demand = demand_v[ex, ey]
+                cost = 1.0 + HISTORY_WEIGHT * history_v[ex, ey]
+                if demand + 1 > vcap:
+                    cost += overflow_penalty * (demand + 1 - vcap)
+            ng = g + cost
+            if ng < best.get(nxt, inf):
+                best[nxt] = ng
+                parent[nxt] = cell
+                push(heap, (ng + abs(nx - tx) + abs(ny - ty), ng, nxt))
+    if target not in parent and source != target:
+        # Unreachable inside the window (cannot happen with a positive
+        # margin, but guard anyway): fall back to an L-shape.
+        return l_route_edges(source, target)
+    edges: List[Tuple[int, int, int]] = []
+    cell = target
+    while cell != source:
+        prev = parent[cell]
+        edges.append(_edge_of(prev, cell))
+        cell = prev
+    edges.reverse()
+    return edges
+
+
+def _edge_of(a: GCell, b: GCell) -> Tuple[int, int, int]:
+    if a[1] == b[1]:
+        return (HORIZONTAL, min(a[0], b[0]), a[1])
+    return (VERTICAL, a[0], min(a[1], b[1]))
+
+
+def l_route_edges(source: GCell, target: GCell,
+                  horizontal_first: bool = True) -> List[Tuple[int, int, int]]:
+    """The edges of an L-shaped route."""
+    edges: List[Tuple[int, int, int]] = []
+    sx, sy = source
+    tx, ty = target
+    if horizontal_first:
+        for x in range(min(sx, tx), max(sx, tx)):
+            edges.append((HORIZONTAL, x, sy))
+        for y in range(min(sy, ty), max(sy, ty)):
+            edges.append((VERTICAL, tx, y))
+    else:
+        for y in range(min(sy, ty), max(sy, ty)):
+            edges.append((VERTICAL, sx, y))
+        for x in range(min(sx, tx), max(sx, tx)):
+            edges.append((HORIZONTAL, x, ty))
+    return edges

@@ -1,0 +1,148 @@
+"""The global router: initial pattern routing + negotiated rip-up/reroute.
+
+This is the Silicon Ensemble stand-in.  Every net is decomposed into
+two-pin segments (MST), routed initially with the cheaper of the two
+L-shapes, then overflowed nets are iteratively ripped up and maze-
+rerouted under a growing congestion/history penalty.  Whatever overflow
+survives the final round is reported as **routing violations** — the
+proxy for the paper's detailed-routing violation counts (zero overflow
+⇒ routable; see DESIGN.md on this substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+from ..place.floorplan import Floorplan
+from .grid import GCell, RoutingGrid, RoutingResources
+from .maze import l_route_edges, maze_route
+from .steiner import mst_segments
+
+Point = Tuple[float, float]
+Edge = Tuple[int, int, int]
+
+
+@dataclass
+class NetRoute:
+    """The committed route of one net."""
+
+    name: str
+    pins: List[GCell]
+    segments: List[Tuple[GCell, GCell]]
+    edges: List[Edge] = field(default_factory=list)
+
+    def wirelength(self, grid: RoutingGrid) -> float:
+        """Routed wirelength (µm)."""
+        return sum(grid.edge_length(direction)
+                   for direction, _, _ in self.edges)
+
+
+@dataclass
+class RoutingResult:
+    """Summary of a global-routing run."""
+
+    grid: RoutingGrid
+    routes: Dict[str, NetRoute]
+    violations: int               # total track overflow
+    overflowed_nets: int
+    iterations: int
+    total_wirelength: float       # µm
+
+    @property
+    def routable(self) -> bool:
+        """True when the design fits the routing resources."""
+        return self.violations == 0
+
+    def net_wirelength(self, name: str) -> float:
+        """Routed wirelength of one net (µm)."""
+        return self.routes[name].wirelength(self.grid)
+
+
+class GlobalRouter:
+    """Routes a set of nets over a :class:`RoutingGrid`."""
+
+    def __init__(self, floorplan: Floorplan,
+                 resources: Optional[RoutingResources] = None,
+                 gcell_rows: int = 2, max_iterations: int = 6,
+                 seed: int = 0):  # noqa: D107
+        self.floorplan = floorplan
+        self.resources = resources or RoutingResources()
+        self.gcell_rows = gcell_rows
+        self.max_iterations = max_iterations
+        self.seed = seed
+
+    def route(self, net_points: Dict[str, List[Point]]) -> RoutingResult:
+        """Route all nets; returns the result with violation counts."""
+        grid = RoutingGrid(self.floorplan, self.resources, self.gcell_rows)
+        routes: Dict[str, NetRoute] = {}
+        for name in sorted(net_points):
+            pins = [grid.gcell_of(p) for p in net_points[name]]
+            segments = mst_segments(pins)
+            routes[name] = NetRoute(name=name, pins=pins, segments=segments)
+
+        # Initial routing: cheaper of the two L-shapes per segment.
+        for name in sorted(routes):
+            route = routes[name]
+            for a, b in route.segments:
+                edges = self._best_l(grid, a, b)
+                grid.add_demand(edges)
+                route.edges.extend(edges)
+
+        iterations = 0
+        plateau = 0
+        previous = None
+        for iteration in range(self.max_iterations):
+            violations = grid.overflow_total()
+            if violations == 0:
+                break
+            # Plateau detection: congested designs stop improving after
+            # a few negotiation rounds; further rip-up is wasted work.
+            if previous is not None and violations >= previous * 0.98:
+                plateau += 1
+                if plateau >= 3:
+                    break
+            else:
+                plateau = 0
+            previous = violations
+            iterations = iteration + 1
+            over_edges = set(grid.overflowed_edges())
+            # Accumulate history on congested edges (negotiation).
+            for direction, ex, ey in over_edges:
+                grid.history[direction][ex, ey] += 1.0
+            victims = [name for name in sorted(routes)
+                       if over_edges.intersection(routes[name].edges)]
+            penalty = 4.0 * (iteration + 1)
+            for name in victims:
+                route = routes[name]
+                grid.add_demand(route.edges, amount=-1)
+                route.edges = []
+                for a, b in route.segments:
+                    edges = maze_route(grid, a, b, overflow_penalty=penalty)
+                    grid.add_demand(edges)
+                    route.edges.extend(edges)
+
+        violations = grid.overflow_total()
+        over_edges = set(grid.overflowed_edges())
+        overflowed_nets = sum(
+            1 for route in routes.values()
+            if over_edges.intersection(route.edges))
+        total_wl = sum(route.wirelength(grid) for route in routes.values())
+        return RoutingResult(grid=grid, routes=routes, violations=violations,
+                             overflowed_nets=overflowed_nets,
+                             iterations=iterations,
+                             total_wirelength=total_wl)
+
+    @staticmethod
+    def _best_l(grid: RoutingGrid, a: GCell, b: GCell) -> List[Edge]:
+        """The L-shape with lower present congestion."""
+        first = l_route_edges(a, b, horizontal_first=True)
+        second = l_route_edges(a, b, horizontal_first=False)
+        if first == second:
+            return first
+
+        def load(edges: List[Edge]) -> float:
+            return sum(grid.edge_congestion(*e) for e in edges)
+
+        return first if load(first) <= load(second) else second

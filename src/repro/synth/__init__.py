@@ -1,0 +1,41 @@
+"""Technology-independent synthesis: the SIS-equivalent substrate.
+
+Algebraic division, kernel enumeration, factoring, network-level
+common-divisor extraction, cleanup sweeps and optimization scripts.
+"""
+
+from .eliminate import eliminate, eliminate_node, node_value
+from .division import divide, divide_by_cube, is_algebraic_divisor
+from .espresso import irredundant, merge_cubes, minimize_network, minimize_sop
+from .extract import extract, extract_one_cube, extract_one_kernel
+from .factor import Expr, factor, factored_literal_count
+from .kernels import kernel_value, kernels, level0_kernels, make_cube_free
+from .optimize import OptimizeReport, optimize
+from .sweep import simplify_nodes, sweep
+
+__all__ = [
+    "Expr",
+    "OptimizeReport",
+    "divide",
+    "eliminate",
+    "eliminate_node",
+    "divide_by_cube",
+    "extract",
+    "extract_one_cube",
+    "extract_one_kernel",
+    "factor",
+    "factored_literal_count",
+    "irredundant",
+    "is_algebraic_divisor",
+    "kernel_value",
+    "kernels",
+    "level0_kernels",
+    "make_cube_free",
+    "merge_cubes",
+    "minimize_network",
+    "minimize_sop",
+    "node_value",
+    "optimize",
+    "simplify_nodes",
+    "sweep",
+]

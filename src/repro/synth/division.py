@@ -1,0 +1,70 @@
+"""Algebraic (weak) division of sum-of-products expressions.
+
+``divide(f, d) -> (q, r)`` with ``f == q*d + r`` under the algebraic
+model (no Boolean simplification), the primitive on which factoring and
+common-divisor extraction are built.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..network.cubes import Cube, cube_divide, cube_mul
+from ..network.sop import Sop
+
+
+def divide_by_cube(f: Sop, d: Cube) -> Tuple[Sop, Sop]:
+    """Divide ``f`` by the single cube ``d``; returns ``(quotient, remainder)``."""
+    quotient: List[Cube] = []
+    remainder: List[Cube] = []
+    for cube in f.cubes:
+        reduced = cube_divide(cube, d)
+        if reduced is None:
+            remainder.append(cube)
+        else:
+            quotient.append(reduced)
+    return Sop(quotient), Sop(remainder)
+
+
+def divide(f: Sop, d: Sop) -> Tuple[Sop, Sop]:
+    """Weak division ``f / d``; returns ``(quotient, remainder)``.
+
+    The classic algorithm: for each divisor cube ``d_i`` collect the set
+    of quotient cubes of the dividend cubes divisible by ``d_i``; the
+    quotient is the intersection of those sets; the remainder is
+    ``f - q*d``.  Division by zero or by the constant-1 is handled
+    specially (``f/1 == f`` with empty remainder).
+    """
+    if d.is_zero():
+        return Sop.zero(), f
+    if d.is_one():
+        return f, Sop.zero()
+    quotient_set: Optional[Set[Cube]] = None
+    for d_cube in d.cubes:
+        candidates: Set[Cube] = set()
+        for f_cube in f.cubes:
+            reduced = cube_divide(f_cube, d_cube)
+            if reduced is not None:
+                candidates.add(reduced)
+        if quotient_set is None:
+            quotient_set = candidates
+        else:
+            quotient_set &= candidates
+        if not quotient_set:
+            return Sop.zero(), f
+    assert quotient_set is not None
+    q = Sop(quotient_set)
+    product_cubes: Set[Cube] = set()
+    for q_cube in q.cubes:
+        for d_cube in d.cubes:
+            merged = cube_mul(q_cube, d_cube)
+            if merged is not None:
+                product_cubes.add(merged)
+    remainder = Sop(f.cubes - product_cubes)
+    return q, remainder
+
+
+def is_algebraic_divisor(f: Sop, d: Sop) -> bool:
+    """True when ``d`` divides ``f`` with a nonzero quotient."""
+    q, _ = divide(f, d)
+    return not q.is_zero()

@@ -1,0 +1,117 @@
+"""Node elimination (SIS ``eliminate``): collapse low-value nodes.
+
+The inverse of extraction: a node whose *value* — the literal cost of
+keeping it as a shared function versus substituting its SOP into every
+reader — falls below a threshold is collapsed into its fanouts.  SIS
+runs ``eliminate`` between extraction passes to undo sharing that
+stopped paying for itself; the paper's congestion argument is exactly
+that some sharing never paid for itself once wiring is counted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..network.boolnet import BooleanNetwork
+from ..network.cubes import lit
+from ..network.sop import Sop
+
+#: Refuse to substitute into covers that would explode past this many cubes.
+MAX_RESULT_CUBES = 256
+
+
+def node_value(network: BooleanNetwork, name: str) -> Optional[int]:
+    """The literal savings of keeping ``name`` as a separate node.
+
+    value = (literal cost with the node inlined everywhere)
+          - (literal cost with the node kept shared).
+    Positive ⇒ the node pays for itself; ``eliminate`` collapses nodes
+    whose value is at or below its threshold.  Returns ``None`` when
+    the node cannot be eliminated (drives a primary output, or is used
+    in complemented form — the algebraic substitution below handles
+    positive uses only).
+    """
+    if name in network.outputs:
+        return None
+    sop = network.nodes[name].sop
+    node_lits = sop.num_literals()
+    num_cubes = max(len(sop), 1)
+    uses = 0
+    value = -node_lits  # inlining saves the node's own definition
+    for other in network.nodes.values():
+        for cube in other.sop.cubes:
+            if lit(name, False) in cube:
+                return None  # complemented use: leave to sweep()
+            if lit(name, True) in cube:
+                uses += 1
+                # Keeping: this use costs one literal.  Inlining:
+                # node_lits, plus the cube's remaining literals get
+                # replicated once per extra SOP cube.
+                rest = len(cube) - 1
+                value += (node_lits + num_cubes * rest) - (1 + rest)
+    if uses == 0:
+        return None  # dead; remove_dangling handles it
+    return value
+
+
+def eliminate_node(network: BooleanNetwork, name: str) -> bool:
+    """Collapse one node into its fanouts; returns True on success.
+
+    The substitution is algebraic: for each reader, cubes containing the
+    node's literal are expanded by distributing the node's SOP.
+    """
+    if name in network.outputs or name not in network.nodes:
+        return False
+    sop = network.nodes[name].sop
+    readers = [n for n, node in network.nodes.items()
+               if name in node.sop.support()]
+    if not readers:
+        return False
+    for reader in readers:
+        reader_sop = network.nodes[reader].sop
+        for cube in reader_sop.cubes:
+            if lit(name, False) in cube:
+                return False  # complemented use
+    new_functions: Dict[str, Sop] = {}
+    for reader in readers:
+        expanded: List = []
+        for cube in network.nodes[reader].sop.cubes:
+            if lit(name, True) in cube:
+                rest = cube - {lit(name, True)}
+                product = sop.mul_cube(rest)
+                expanded.extend(product.cubes)
+            else:
+                expanded.append(cube)
+        result = Sop(expanded).remove_scc()
+        if len(result) > MAX_RESULT_CUBES:
+            return False
+        new_functions[reader] = result
+    for reader, function in new_functions.items():
+        network.set_function(reader, function)
+    network.remove_node(name)
+    return True
+
+
+def eliminate(network: BooleanNetwork, threshold: int = 0,
+              max_passes: int = 10) -> int:
+    """Collapse every node whose value is ≤ ``threshold``.
+
+    Mirrors SIS ``eliminate <threshold>``; returns the number of nodes
+    collapsed.  Functions are preserved (verified by the test suite).
+    """
+    collapsed = 0
+    for _ in range(max_passes):
+        progress = False
+        for name in sorted(network.nodes):
+            if name not in network.nodes:
+                continue
+            value = node_value(network, name)
+            if value is None or value > threshold:
+                continue
+            if eliminate_node(network, name):
+                collapsed += 1
+                progress = True
+        if not progress:
+            break
+    network.remove_dangling()
+    return collapsed

@@ -1,0 +1,126 @@
+"""Lightweight two-level minimisation (an ESPRESSO-lite).
+
+Full ESPRESSO is out of scope; this module implements the classic cheap
+subset that covers the bulk of the benefit on random-logic SOPs:
+
+* iterated distance-1 cube merging  (``a b + a b' -> a``),
+* single-cube containment removal,
+* redundant-cube elimination by simulation-checked removal for small
+  supports (a correct, bounded irredundant step).
+
+All transformations preserve the function exactly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Set
+
+from ..network.boolnet import BooleanNetwork
+from ..network.cubes import Cube
+from ..network.sop import Sop
+
+#: Support-size bound for the exact redundancy check.
+IRREDUNDANT_SUPPORT_LIMIT = 14
+
+
+def _merge_pair(a: Cube, b: Cube) -> Optional[Cube]:
+    """Merge two cubes differing in exactly one variable's phase.
+
+    ``a x + a x' == a`` — only applies when the cubes agree on every
+    other literal.
+    """
+    if len(a) != len(b):
+        return None
+    diff = a ^ b
+    if len(diff) != 2:
+        return None
+    l1, l2 = sorted(diff)
+    if l1[0] != l2[0] or l1[1] == l2[1]:
+        return None
+    return a - {l1, l2}
+
+
+def merge_cubes(sop: Sop) -> Sop:
+    """Iterated distance-1 merging until a fixed point."""
+    cubes: Set[Cube] = set(sop.cubes)
+    changed = True
+    while changed:
+        changed = False
+        cube_list = sorted(cubes, key=lambda c: (len(c), sorted(c)))
+        for a, b in combinations(cube_list, 2):
+            if a not in cubes or b not in cubes:
+                continue
+            merged = _merge_pair(a, b)
+            if merged is not None:
+                cubes.discard(a)
+                cubes.discard(b)
+                cubes.add(merged)
+                changed = True
+    return Sop(cubes).remove_scc()
+
+
+def _covers(sop: Sop, cube: Cube) -> bool:
+    """True when ``sop`` covers every minterm of ``cube`` (exact, bounded).
+
+    Decides tautology of the cofactor ``sop / cube`` by recursive Shannon
+    splitting; correct for any support size, used here only for supports
+    up to :data:`IRREDUNDANT_SUPPORT_LIMIT`.
+    """
+    cofactored = sop
+    for literal in cube:
+        cofactored = cofactored.cofactor(literal)
+    return _is_tautology(cofactored)
+
+
+def _is_tautology(sop: Sop) -> bool:
+    """Exact tautology check by recursive splitting."""
+    if sop.is_one():
+        return True
+    if sop.is_zero():
+        return False
+    counts = sop.literal_counts()
+    if not counts:
+        return False
+    # Split on the most frequent variable.
+    var = max(counts, key=lambda l: (counts[l], l))[0]
+    pos = sop.cofactor((var, True))
+    neg = sop.cofactor((var, False))
+    return _is_tautology(pos) and _is_tautology(neg)
+
+
+def irredundant(sop: Sop) -> Sop:
+    """Remove cubes covered by the rest of the cover (exact, bounded).
+
+    Falls back to the identity for supports beyond
+    :data:`IRREDUNDANT_SUPPORT_LIMIT` to keep worst-case cost bounded.
+    """
+    if len(sop.support()) > IRREDUNDANT_SUPPORT_LIMIT:
+        return sop
+    cubes = sorted(sop.cubes, key=lambda c: (-len(c), sorted(c)))
+    kept: List[Cube] = list(cubes)
+    for cube in cubes:
+        rest = Sop([c for c in kept if c != cube])
+        if rest and _covers(rest, cube):
+            kept = [c for c in kept if c != cube]
+    return Sop(kept)
+
+
+def minimize_sop(sop: Sop) -> Sop:
+    """The full lite pipeline: merge, contain, irredundant."""
+    out = merge_cubes(sop)
+    out = irredundant(out)
+    return out.remove_scc()
+
+
+def minimize_node(network: BooleanNetwork, name: str) -> int:
+    """Minimise one node in place; returns literals saved."""
+    before = network.nodes[name].sop
+    after = minimize_sop(before)
+    network.set_function(name, after)
+    return before.num_literals() - after.num_literals()
+
+
+def minimize_network(network: BooleanNetwork) -> int:
+    """Minimise every node; returns total literals saved."""
+    return sum(minimize_node(network, name) for name in sorted(network.nodes))

@@ -1,0 +1,185 @@
+"""Network-level common-divisor extraction (SIS ``gkx``/``gcx`` style).
+
+Greedy extraction of multi-cube kernels and multi-literal cubes shared
+between nodes: the transformations that minimise factored literal count
+and — as the paper stresses — create the *small, widely shared, high
+fanout* nodes whose wiring congestion motivates congestion-aware
+mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..network.boolnet import BooleanNetwork
+from ..network.cubes import Cube, lit
+from ..network.sop import Sop
+from .division import divide, divide_by_cube
+from .kernels import kernel_value, level0_kernels
+
+#: Bound on kernels enumerated per node per round (keeps big PLAs tractable).
+DEFAULT_MAX_KERNELS_PER_NODE = 40
+#: Bound on candidate divisors scored exactly per round.
+DEFAULT_MAX_CANDIDATES = 250
+
+
+def _node_literal_index(network: BooleanNetwork) -> Dict[str, Set[str]]:
+    """Map variable name -> set of node names whose SOP mentions it."""
+    index: Dict[str, Set[str]] = {}
+    for name, node in network.nodes.items():
+        for var in node.sop.support():
+            index.setdefault(var, set()).add(name)
+    return index
+
+
+def _candidate_nodes(divisor_support: FrozenSet[str],
+                     index: Dict[str, Set[str]]) -> Set[str]:
+    """Nodes that mention every variable of the divisor (necessary cond.)."""
+    result: Optional[Set[str]] = None
+    for var in divisor_support:
+        nodes = index.get(var, set())
+        result = set(nodes) if result is None else (result & nodes)
+        if not result:
+            return set()
+    return result or set()
+
+
+def extract_one_kernel(network: BooleanNetwork,
+                       max_kernels_per_node: int = DEFAULT_MAX_KERNELS_PER_NODE,
+                       max_candidates: int = DEFAULT_MAX_CANDIDATES,
+                       min_value: int = 1) -> Optional[str]:
+    """Extract the single best multi-cube kernel; returns the new node name.
+
+    Returns ``None`` when no kernel reaches ``min_value`` literal
+    savings.  ``min_value = 0`` extracts break-even kernels too —
+    maximum sharing, the "unrestrained factorization" regime the paper
+    attributes SIS's congested netlists to.
+    """
+    candidates: Dict[Sop, int] = {}
+    for name in sorted(network.nodes):
+        sop = network.nodes[name].sop
+        if len(sop) < 2:
+            continue
+        for kernel, _ in level0_kernels(sop, max_kernels=max_kernels_per_node):
+            if len(kernel) < 2:
+                continue
+            candidates[kernel] = candidates.get(kernel, 0) + 1
+        if len(candidates) >= max_candidates * 4:
+            break
+    if not candidates:
+        return None
+    # Score the most promising candidates exactly.
+    ranked = sorted(candidates,
+                    key=lambda k: (-candidates[k] * k.num_literals(),
+                                   k.to_string()))[:max_candidates]
+    index = _node_literal_index(network)
+    best_kernel: Optional[Sop] = None
+    best_value = min_value - 1
+    best_users: List[str] = []
+    for kernel in ranked:
+        users = []
+        uses = 0
+        for node_name in sorted(_candidate_nodes(kernel.support(), index)):
+            q, _ = divide(network.nodes[node_name].sop, kernel)
+            if not q.is_zero():
+                users.append(node_name)
+                uses += len(q)
+        value = kernel_value(kernel, uses)
+        if value > best_value:
+            best_value = value
+            best_kernel = kernel
+            best_users = users
+    if best_kernel is None:
+        return None
+    return _substitute_divisor(network, best_kernel, best_users)
+
+
+def extract_one_cube(network: BooleanNetwork,
+                     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+                     min_value: int = 1) -> Optional[str]:
+    """Extract the single best multi-literal common cube."""
+    counts: Dict[Cube, int] = {}
+    for name in sorted(network.nodes):
+        for cube in network.nodes[name].sop.cubes:
+            if len(cube) < 2:
+                continue
+            for sub in _subcubes(cube):
+                counts[sub] = counts.get(sub, 0) + 1
+    candidates = [c for c, n in counts.items() if n >= 2]
+    if not candidates:
+        return None
+    candidates.sort(key=lambda c: (-counts[c] * (len(c) - 1), sorted(c)))
+    index = _node_literal_index(network)
+    best_cube: Optional[Cube] = None
+    best_value = min_value - 1
+    best_users: List[str] = []
+    for cube in candidates[:max_candidates]:
+        support = frozenset(n for n, _ in cube)
+        users = []
+        uses = 0
+        for node_name in sorted(_candidate_nodes(support, index)):
+            q, _ = divide_by_cube(network.nodes[node_name].sop, cube)
+            if not q.is_zero():
+                users.append(node_name)
+                uses += len(q)
+        value = uses * (len(cube) - 1) - len(cube)
+        if value > best_value:
+            best_value = value
+            best_cube = cube
+            best_users = users
+    if best_cube is None:
+        return None
+    return _substitute_divisor(network, Sop([best_cube]), best_users)
+
+
+def _subcubes(cube: Cube, max_size: int = 3):
+    """Pairs (and the full cube) as candidate common cubes.
+
+    Enumerating all subsets is exponential; pairs plus the cube itself
+    capture the bulk of the savings in practice.
+    """
+    lits = sorted(cube)
+    for i in range(len(lits)):
+        for j in range(i + 1, len(lits)):
+            yield frozenset((lits[i], lits[j]))
+    if 2 < len(cube) <= max_size:
+        yield cube
+
+
+def _substitute_divisor(network: BooleanNetwork, divisor: Sop,
+                        users: List[str]) -> str:
+    """Create a node for ``divisor`` and re-express the users through it."""
+    new_name = network.new_name("x")
+    network.add_node(new_name, divisor)
+    new_literal = lit(new_name, True)
+    for node_name in users:
+        sop = network.nodes[node_name].sop
+        q, r = divide(sop, divisor)
+        if q.is_zero():
+            continue
+        rebuilt = q.mul_cube(frozenset([new_literal])).add(r).remove_scc()
+        network.set_function(node_name, rebuilt)
+    return new_name
+
+
+def extract(network: BooleanNetwork, max_rounds: int = 10_000,
+            kernels_first: bool = True, min_value: int = 1) -> int:
+    """Run greedy kernel + cube extraction to a fixed point.
+
+    Returns the number of new nodes created.  The network is modified in
+    place; functions are preserved (tested via simulation).
+    ``min_value`` is forwarded to the per-step extractors; 0 enables
+    break-even sharing.
+    """
+    created = 0
+    for _ in range(max_rounds):
+        name = (extract_one_kernel(network, min_value=min_value)
+                if kernels_first else None)
+        if name is None:
+            name = extract_one_cube(network, min_value=min_value)
+        if name is None and not kernels_first:
+            name = extract_one_kernel(network, min_value=min_value)
+        if name is None:
+            break
+        created += 1
+    return created

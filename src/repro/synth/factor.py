@@ -1,0 +1,182 @@
+"""Algebraic factoring of SOP expressions into factored-form trees.
+
+Implements the classic ``good_factor`` recursion: pick a divisor (the
+best kernel, falling back to the most frequent literal), divide, and
+factor quotient / remainder recursively.  The resulting
+:class:`Expr` tree is what factored-form literal counting — the cost
+function of technology-independent synthesis — operates on, and what
+the technology decomposer can lower into base gates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..network.cubes import Cube, Literal, lit_str
+from ..network.sop import Sop
+from .division import divide
+from .kernels import kernels, make_cube_free
+
+
+class Expr:
+    """A node of a factored-form expression tree."""
+
+    KIND_LIT = "lit"
+    KIND_AND = "and"
+    KIND_OR = "or"
+
+    __slots__ = ("kind", "literal", "children")
+
+    def __init__(self, kind: str, literal: Optional[Literal] = None,
+                 children: Optional[List["Expr"]] = None):  # noqa: D107
+        self.kind = kind
+        self.literal = literal
+        self.children = children or []
+
+    @classmethod
+    def lit(cls, literal: Literal) -> "Expr":
+        """A literal leaf."""
+        return cls(cls.KIND_LIT, literal=literal)
+
+    @classmethod
+    def and_(cls, children: List["Expr"]) -> "Expr":
+        """An AND node, flattening nested ANDs and eliding singletons."""
+        flat: List[Expr] = []
+        for child in children:
+            if child.kind == cls.KIND_AND:
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) == 1:
+            return flat[0]
+        return cls(cls.KIND_AND, children=flat)
+
+    @classmethod
+    def or_(cls, children: List["Expr"]) -> "Expr":
+        """An OR node, flattening nested ORs and eliding singletons."""
+        flat: List[Expr] = []
+        for child in children:
+            if child.kind == cls.KIND_OR:
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) == 1:
+            return flat[0]
+        return cls(cls.KIND_OR, children=flat)
+
+    def num_literals(self) -> int:
+        """Literal count of the factored form."""
+        if self.kind == self.KIND_LIT:
+            return 1
+        return sum(child.num_literals() for child in self.children)
+
+    def to_sop(self) -> Sop:
+        """Flatten back to sum-of-products (for verification)."""
+        if self.kind == self.KIND_LIT:
+            assert self.literal is not None
+            return Sop.literal(*self.literal)
+        if self.kind == self.KIND_AND:
+            result = Sop.one()
+            for child in self.children:
+                result = result.mul(child.to_sop())
+            return result
+        result = Sop.zero()
+        for child in self.children:
+            result = result.add(child.to_sop())
+        return result
+
+    def to_string(self) -> str:
+        """Render with explicit parentheses, e.g. ``a (b + c')``."""
+        if self.kind == self.KIND_LIT:
+            assert self.literal is not None
+            return lit_str(self.literal)
+        if self.kind == self.KIND_AND:
+            parts = []
+            for child in self.children:
+                text = child.to_string()
+                if child.kind == self.KIND_OR:
+                    text = f"({text})"
+                parts.append(text)
+            return " ".join(parts)
+        return " + ".join(child.to_string() for child in self.children)
+
+    def __repr__(self) -> str:
+        return f"Expr({self.to_string()!r})"
+
+
+def _cube_expr(cube: Cube) -> Expr:
+    """Factored form of a single cube."""
+    lits = [Expr.lit(l) for l in sorted(cube)]
+    if not lits:
+        raise ValueError("cannot build an expression for the constant cube")
+    return Expr.and_(lits)
+
+
+def _best_literal(f: Sop) -> Optional[Literal]:
+    """The literal appearing in the most cubes (ties broken lexically)."""
+    counts = f.literal_counts()
+    best: Optional[Literal] = None
+    best_count = 1
+    for literal in sorted(counts):
+        if counts[literal] > best_count:
+            best_count = counts[literal]
+            best = literal
+    return best
+
+
+def _choose_divisor(f: Sop, max_kernels: int) -> Optional[Sop]:
+    """Pick a divisor for good_factor: best-value kernel, else best literal."""
+    pairs = kernels(f, max_kernels=max_kernels)
+    best: Optional[Sop] = None
+    best_lits = 0
+    for kernel, _ in pairs:
+        if kernel == f:
+            continue
+        lits = kernel.num_literals()
+        if lits > best_lits:
+            best_lits = lits
+            best = kernel
+    if best is not None:
+        return best
+    literal = _best_literal(f)
+    if literal is not None:
+        return Sop.literal(*literal)
+    return None
+
+
+def factor(f: Sop, max_kernels: int = 50) -> Expr:
+    """Factor ``f`` into an :class:`Expr` tree (good_factor heuristic).
+
+    Raises :class:`ValueError` for the constants, which have no factored
+    form over literals.
+    """
+    if f.is_zero() or f.is_one():
+        raise ValueError("cannot factor a constant function")
+    f = f.remove_scc()
+    if len(f) == 1:
+        return _cube_expr(next(iter(f.cubes)))
+    divisor = _choose_divisor(f, max_kernels)
+    if divisor is None or divisor == f:
+        return Expr.or_([_cube_expr(c) for c in sorted(f.cubes, key=sorted)])
+    quotient, remainder = divide(f, divisor)
+    if quotient.is_zero():
+        return Expr.or_([_cube_expr(c) for c in sorted(f.cubes, key=sorted)])
+    # f = quotient * divisor + remainder, recursively factored.
+    q_stripped, q_common = make_cube_free(quotient)
+    parts: List[Expr] = []
+    if q_common:
+        parts.append(_cube_expr(q_common))
+    if not q_stripped.is_one():
+        parts.append(factor(q_stripped, max_kernels))
+    parts.append(factor(divisor, max_kernels))
+    product = Expr.and_(parts) if parts else _cube_expr(q_common)
+    if remainder.is_zero():
+        return product
+    return Expr.or_([product, factor(remainder, max_kernels)])
+
+
+def factored_literal_count(f: Sop, max_kernels: int = 50) -> int:
+    """Literal count of the factored form (constants count as zero)."""
+    if f.is_zero() or f.is_one():
+        return 0
+    return factor(f, max_kernels).num_literals()

@@ -1,0 +1,120 @@
+"""Kernel and co-kernel enumeration (Brayton–McMullen).
+
+A *kernel* of an expression ``f`` is a cube-free quotient of ``f`` by a
+cube (the *co-kernel*).  Kernels are the classic source of multi-cube
+common divisors in technology-independent synthesis; the paper's SIS
+baseline relies on exactly this machinery ("unrestrained factorization
+based on kernel extraction yields gates with a high fanout count").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..network.cubes import Cube, ONE_CUBE, cube_mul
+from ..network.sop import Sop
+from .division import divide_by_cube
+
+
+def make_cube_free(f: Sop) -> Tuple[Sop, Cube]:
+    """Strip the largest common cube; returns ``(cube_free_part, common)``."""
+    if len(f) == 0:
+        return f, ONE_CUBE
+    common: Optional[set] = None
+    for cube in f.cubes:
+        if common is None:
+            common = set(cube)
+        else:
+            common &= cube
+        if not common:
+            break
+    common_cube: Cube = frozenset(common or ())
+    if not common_cube:
+        return f, ONE_CUBE
+    stripped = Sop([cube - common_cube for cube in f.cubes])
+    return stripped, common_cube
+
+
+def kernels(f: Sop, max_kernels: int = 0,
+            min_cubes: int = 2) -> List[Tuple[Sop, Cube]]:
+    """All (kernel, co-kernel) pairs of ``f``.
+
+    ``max_kernels`` bounds enumeration for very wide expressions
+    (0 = unbounded); ``min_cubes`` filters out single-cube kernels,
+    which cannot save literals as multi-cube divisors.
+
+    The cube-free part of ``f`` itself is included (co-kernel 1) when it
+    has at least ``min_cubes`` cubes, per the standard definition of the
+    level-n kernel set.
+    """
+    out: List[Tuple[Sop, Cube]] = []
+    seen: Set[Sop] = set()
+    literals = sorted({l for cube in f.cubes for l in cube})
+    index = {l: i for i, l in enumerate(literals)}
+    counts = f.literal_counts()
+
+    def record(kernel: Sop, cokernel: Cube) -> None:
+        if len(kernel) >= min_cubes and kernel not in seen:
+            seen.add(kernel)
+            out.append((kernel, cokernel))
+
+    def recurse(g: Sop, cokernel: Cube, start: int) -> None:
+        if max_kernels and len(out) >= max_kernels:
+            return
+        for i in range(start, len(literals)):
+            literal = literals[i]
+            if counts.get(literal, 0) < 2:
+                continue
+            quotient, _ = divide_by_cube(g, frozenset([literal]))
+            if len(quotient) < 2:
+                continue
+            stripped, common = make_cube_free(quotient)
+            full_cokernel = cube_mul(cokernel,
+                                     cube_mul(frozenset([literal]), common) or common)
+            if full_cokernel is None:
+                continue
+            # Skip duplicates: if the common cube contains a literal with a
+            # smaller index, this kernel was (or will be) found earlier.
+            if any(index.get(l, len(literals)) < i for l in common):
+                continue
+            record(stripped, full_cokernel)
+            recurse(stripped, full_cokernel, i + 1)
+            if max_kernels and len(out) >= max_kernels:
+                return
+
+    stripped, common = make_cube_free(f)
+    record(stripped, common)
+    recurse(stripped, common, 0)
+    return out
+
+
+def level0_kernels(f: Sop, max_kernels: int = 0) -> List[Tuple[Sop, Cube]]:
+    """Only the level-0 kernels (kernels with no kernels but themselves).
+
+    These are the cheapest-to-find multi-cube divisors; SIS's fast
+    extraction scripts restrict themselves to this set, and so does our
+    default optimization pipeline for large networks.
+    """
+    all_pairs = kernels(f, max_kernels=max_kernels)
+    out: List[Tuple[Sop, Cube]] = []
+    for kernel, cokernel in all_pairs:
+        if is_level0(kernel):
+            out.append((kernel, cokernel))
+    return out
+
+
+def is_level0(kernel: Sop) -> bool:
+    """True when no literal appears in two or more cubes of ``kernel``."""
+    counts = kernel.literal_counts()
+    return all(c < 2 for c in counts.values())
+
+
+def kernel_value(kernel: Sop, uses: int) -> int:
+    """Literal savings from extracting ``kernel`` used ``uses`` times.
+
+    Each use replaces the kernel's literals with one new literal; the
+    kernel itself must be implemented once.  Standard greedy figure of
+    merit (ignores co-kernel sharing refinements).
+    """
+    k_lits = kernel.num_literals()
+    return uses * (k_lits - 1) - k_lits

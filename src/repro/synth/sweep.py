@@ -1,0 +1,116 @@
+"""Network cleanup passes: constant propagation and buffer collapsing.
+
+The SIS ``sweep`` equivalent.  These passes keep the network canonical
+between the heavier algebraic rewrites: constants are propagated into
+fanouts, single-literal nodes (buffers / inverters at the network level)
+are collapsed, and dead logic is removed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..network.boolnet import BooleanNetwork
+from ..network.cubes import Literal, lit, lit_negate
+from ..network.sop import Sop
+
+
+def _substitute_constant(sop: Sop, name: str, value: bool) -> Sop:
+    """Cofactor ``sop`` against ``name == value``."""
+    return sop.cofactor(lit(name, value)).remove_scc()
+
+
+def _substitute_literal(sop: Sop, name: str, target: Literal) -> Sop:
+    """Rewrite every occurrence of signal ``name`` with ``target``.
+
+    A positive occurrence becomes ``target``; a complemented occurrence
+    becomes the complement of ``target``.
+    """
+    new_cubes = []
+    for cube in sop.cubes:
+        lits = []
+        for literal in cube:
+            if literal[0] == name:
+                lits.append(target if literal[1] else lit_negate(target))
+            else:
+                lits.append(literal)
+        new_cubes.append(lits)
+    return Sop.from_cubes(new_cubes).remove_scc()
+
+
+def sweep(network: BooleanNetwork) -> int:
+    """Propagate constants, collapse single-literal nodes, drop dead logic.
+
+    Returns the number of nodes eliminated.  Primary outputs driven by a
+    collapsed node are redirected through a surviving buffer node so the
+    output name set never changes.
+    """
+    eliminated = 0
+    changed = True
+    while changed:
+        changed = False
+        for name in list(network.nodes):
+            node = network.nodes.get(name)
+            if node is None:
+                continue
+            sop = node.sop
+            is_constant = sop.is_zero() or sop.is_one()
+            single = _single_literal(sop)
+            if not is_constant and single is None:
+                continue
+            if name in network.outputs:
+                # Keep the node: outputs must stay named.  A constant
+                # output stays as an explicit constant node; a buffer
+                # output is retained only if collapsing would alias two
+                # output names.
+                if is_constant or single[0] in network.outputs:
+                    continue
+            users = _users_of(network, name)
+            for user in users:
+                user_node = network.nodes[user]
+                if is_constant:
+                    network.set_function(
+                        user, _substitute_constant(user_node.sop, name, sop.is_one()))
+                else:
+                    network.set_function(
+                        user, _substitute_literal(user_node.sop, name, single))
+            if name in network.outputs:
+                continue
+            network.remove_node(name)
+            eliminated += 1
+            changed = True
+    eliminated += network.remove_dangling()
+    return eliminated
+
+
+def _single_literal(sop: Sop) -> Optional[Literal]:
+    """The literal of a one-cube/one-literal SOP, else ``None``."""
+    if len(sop) != 1:
+        return None
+    cube = next(iter(sop.cubes))
+    if len(cube) != 1:
+        return None
+    return next(iter(cube))
+
+
+def _users_of(network: BooleanNetwork, name: str) -> List[str]:
+    """Nodes whose SOP mentions signal ``name``."""
+    return sorted(n for n, node in network.nodes.items()
+                  if name in node.sop.support())
+
+
+def simplify_nodes(network: BooleanNetwork) -> int:
+    """Apply single-cube-containment minimisation to every node.
+
+    Returns the number of literals removed.  This is the cheap slice of
+    SIS ``simplify``; full ESPRESSO-style two-level minimisation lives in
+    :func:`repro.synth.espresso.minimize_node` and is applied by the
+    higher-effort scripts.
+    """
+    saved = 0
+    for name in network.nodes:
+        before = network.nodes[name].sop
+        after = before.remove_scc()
+        saved += before.num_literals() - after.num_literals()
+        network.set_function(name, after)
+    return saved

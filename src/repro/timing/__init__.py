@@ -1,0 +1,27 @@
+"""Static timing analysis substrate (the PrimeTime stand-in)."""
+
+from .buffering import BufferingReport, buffer_fanout, buffer_net, find_buffer
+from .delaymodel import DELAY_018, DelayModel
+from .sizing import SizingReport, drive_variants, size_gates
+from .paths import PathComparison, compare_against_reference
+from .sta import StaticTimingAnalyzer, TimingReport, arrival_at_output
+from .wiremodel import WIRE_018, WireModel
+
+__all__ = [
+    "BufferingReport",
+    "SizingReport",
+    "buffer_fanout",
+    "buffer_net",
+    "drive_variants",
+    "find_buffer",
+    "size_gates",
+    "DELAY_018",
+    "DelayModel",
+    "PathComparison",
+    "StaticTimingAnalyzer",
+    "TimingReport",
+    "WIRE_018",
+    "WireModel",
+    "arrival_at_output",
+    "compare_against_reference",
+]

@@ -1,0 +1,113 @@
+"""Fanout buffering of mapped netlists.
+
+High-fanout nets (the shared, widely used functions the paper blames
+for congestion) also hurt timing: one driver sees the summed pin
+capacitance of every sink.  This pass splits such nets with a balanced
+tree of buffer cells, bounding the fanout any single output drives.
+
+The transformation is function-preserving (buffers are identities) and
+is verified as such by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import LibraryError
+from ..library.cell import CellLibrary, LibCell
+from ..network.netlist import MappedNetlist
+
+
+@dataclass
+class BufferingReport:
+    """What the buffering pass did."""
+
+    nets_buffered: int
+    buffers_added: int
+    area_added: float
+
+
+def find_buffer(library: CellLibrary) -> LibCell:
+    """The smallest non-inverting single-input cell."""
+    candidates = []
+    for cell in library.cells():
+        if cell.num_inputs != 1:
+            continue
+        pattern = cell.patterns[0]
+        if pattern.num_gates() == 2:  # INV(INV(A))
+            candidates.append(cell)
+    if not candidates:
+        raise LibraryError("library has no buffer cell")
+    return min(candidates, key=lambda c: (c.area, c.name))
+
+
+def buffer_net(netlist: MappedNetlist, net: str, library: CellLibrary,
+               max_fanout: int) -> int:
+    """Split one net's sinks across a buffer tree; returns buffers added.
+
+    Sinks are partitioned into groups of at most ``max_fanout``; each
+    group is re-driven by a buffer fed from the original net.  With more
+    groups than ``max_fanout`` the tree recurses upward.
+    """
+    buffer_cell = find_buffer(library)
+    pin = buffer_cell.input_pins[0]
+    sinks = netlist.sink_map().get(net, [])
+    if len(sinks) <= max_fanout:
+        return 0
+    added = 0
+    current_level: List[str] = []
+    groups = [sinks[i:i + max_fanout]
+              for i in range(0, len(sinks), max_fanout)]
+    for group in groups:
+        new_net = netlist.new_net_name("buf")
+        inst = netlist.add_instance(buffer_cell.name, {pin: net}, new_net)
+        added += 1
+        current_level.append(new_net)
+        for inst_name, pin_name in group:
+            netlist.instances[inst_name].pins[pin_name] = new_net
+    # If the original driver now feeds more buffers than the bound,
+    # add intermediate buffer levels until it does not.
+    while len(current_level) > max_fanout:
+        drivers = netlist.driver_map()
+        next_level: List[str] = []
+        for i in range(0, len(current_level), max_fanout):
+            chunk = current_level[i:i + max_fanout]
+            if len(chunk) == 1:
+                next_level.extend(chunk)
+                continue
+            new_net = netlist.new_net_name("buf")
+            netlist.add_instance(buffer_cell.name, {pin: net}, new_net)
+            added += 1
+            for child_net in chunk:
+                netlist.instances[drivers[child_net]].pins[pin] = new_net
+            next_level.append(new_net)
+        current_level = next_level
+    return added
+
+
+def buffer_fanout(netlist: MappedNetlist, library: CellLibrary,
+                  max_fanout: int = 8) -> BufferingReport:
+    """Buffer every net whose sink count exceeds ``max_fanout``.
+
+    Primary-output observation does not count as a sink (pads have
+    their own drivers in a real flow).  Returns a report; the netlist
+    is modified in place and re-validated.
+    """
+    if max_fanout < 2:
+        raise ValueError("max_fanout must be at least 2")
+    buffer_cell = find_buffer(library)
+    nets_buffered = 0
+    buffers_added = 0
+    for net in list(netlist.nets()):
+        sinks = netlist.sink_map().get(net, [])
+        if len(sinks) > max_fanout:
+            added = buffer_net(netlist, net, library, max_fanout)
+            if added:
+                nets_buffered += 1
+                buffers_added += added
+    netlist.check()
+    return BufferingReport(
+        nets_buffered=nets_buffered,
+        buffers_added=buffers_added,
+        area_added=buffers_added * buffer_cell.area)

@@ -1,0 +1,35 @@
+"""Gate delay model: linear (intrinsic + drive resistance × load).
+
+The classic synthesis-era delay model (as in SIS/DAGON and the paper's
+era of sign-off): per-cell intrinsic delay plus an output-resistance
+term proportional to the capacitive load.  Slew propagation is out of
+scope; the model is monotone in load, which is all the comparative
+timing claims need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..library.cell import LibCell
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Environment constants for gate-delay evaluation."""
+
+    input_slew_penalty: float = 0.0   # reserved; kept 0 in this repro
+    output_pin_cap: float = 0.004     # pF presented by a primary-output pad
+    input_drive_resistance: float = 0.5  # kΩ of the pad driving a PI net
+
+    def cell_delay(self, cell: LibCell, load: float) -> float:
+        """Pin-to-output delay (ns) of ``cell`` at ``load`` pF."""
+        return cell.delay(load)
+
+    def input_delay(self, load: float) -> float:
+        """Delay (ns) of a primary-input pad driving ``load`` pF."""
+        return self.input_drive_resistance * load
+
+
+#: Default environment shared by the flow drivers.
+DELAY_018 = DelayModel()

@@ -1,0 +1,56 @@
+"""Path reporting helpers for the STA results.
+
+Formats timing data into the comparison rows the paper's Tables 3 and 5
+print: each netlist's own critical path, and the reference netlist's
+critical endpoint re-timed in the alternative netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .sta import TimingReport, arrival_at_output
+
+
+@dataclass
+class PathComparison:
+    """One row of a Table 3/5-style STA comparison."""
+
+    label: str
+    critical_start: str
+    critical_end: str
+    critical_arrival: float
+    reference_end: str
+    reference_arrival: float
+
+    def row(self) -> Tuple[str, str, str]:
+        """(label, own critical, reference path) formatted cells."""
+        own = (f"{self.critical_start}(in) {self.critical_end}(out) "
+               f"{self.critical_arrival:.2f}")
+        ref = (f"{self.reference_end}(out) {self.reference_arrival:.2f}")
+        return (self.label, own, ref)
+
+
+def compare_against_reference(reports: Dict[str, TimingReport],
+                              reference_label: str) -> List[PathComparison]:
+    """Build Table 3/5 rows: every report vs the reference critical path.
+
+    The reference's critical endpoint is looked up in each other report,
+    showing whether the reference path got faster in the alternative
+    implementation (the paper's strongest timing claim).
+    """
+    reference = reports[reference_label]
+    ref_po = reference.critical_output
+    rows: List[PathComparison] = []
+    for label, report in reports.items():
+        start, end = report.path_endpoints()
+        rows.append(PathComparison(
+            label=label,
+            critical_start=start,
+            critical_end=report.critical_output,
+            critical_arrival=report.critical_arrival,
+            reference_end=ref_po,
+            reference_arrival=arrival_at_output(report, ref_po),
+        ))
+    return rows

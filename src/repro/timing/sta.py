@@ -1,0 +1,154 @@
+"""Static timing analysis of placed-and-routed mapped netlists.
+
+The PrimeTime stand-in: topological arrival-time propagation with
+
+* gate delay = intrinsic + drive resistance × (pin caps + wire cap),
+* net delay  = lumped Elmore over the *routed* wirelength (falling back
+  to placed HPWL, then to zero, when routing/placement is absent),
+
+plus critical-path extraction and the paper's "arrival time of this
+path's endpoint in that other netlist" comparison used by Tables 3/5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TimingError
+from ..library.cell import CellLibrary
+from ..network.netlist import MappedNetlist
+from .delaymodel import DELAY_018, DelayModel
+from .wiremodel import WIRE_018, WireModel
+
+
+@dataclass
+class TimingReport:
+    """Results of one STA run."""
+
+    arrival: Dict[str, float]           # net -> arrival time (ns)
+    output_arrival: Dict[str, float]    # PO name -> arrival time (ns)
+    critical_output: str
+    critical_arrival: float
+    critical_path: List[str]            # PI, instance names..., PO
+    net_wirelength: Dict[str, float]    # µm used for parasitics
+
+    def path_endpoints(self) -> Tuple[str, str]:
+        """(start point, end point) of the critical path."""
+        return (self.critical_path[0], self.critical_path[-1])
+
+    def describe_critical(self) -> str:
+        """The paper's 'iJ0J(in) oJ23J(out)  17.85' style line."""
+        start, end = self.path_endpoints()
+        return f"{start}(in) {end}(out)  {self.critical_arrival:.2f}"
+
+
+class StaticTimingAnalyzer:
+    """Propagates arrival times through a mapped netlist."""
+
+    def __init__(self, library: CellLibrary,
+                 wire_model: WireModel = WIRE_018,
+                 delay_model: DelayModel = DELAY_018):  # noqa: D107
+        self.library = library
+        self.wire = wire_model
+        self.env = delay_model
+
+    def analyze(self, netlist: MappedNetlist,
+                net_wirelength: Optional[Dict[str, float]] = None
+                ) -> TimingReport:
+        """Run STA; ``net_wirelength`` maps net -> routed length (µm)."""
+        if not netlist.outputs:
+            raise TimingError("netlist has no primary outputs to time")
+        net_wirelength = net_wirelength or {}
+        sinks = netlist.sink_map()
+        drivers = netlist.driver_map()
+
+        def sink_cap(net: str) -> float:
+            cap = 0.0
+            for inst_name, pin in sinks.get(net, []):
+                cell = self.library.cell(
+                    netlist.instances[inst_name].cell_name)
+                cap += cell.input_cap(pin)
+            if any(netlist.output_net[po] == net for po in netlist.outputs):
+                cap += self.env.output_pin_cap
+            return cap
+
+        arrival: Dict[str, float] = {}
+        from_gate: Dict[str, Optional[str]] = {}
+        worst_input_of: Dict[str, str] = {}
+
+        for net in netlist.inputs:
+            length = net_wirelength.get(net, 0.0)
+            load = self.wire.load_on_driver(length, sink_cap(net))
+            arrival[net] = (self.env.input_delay(load)
+                            + self.wire.elmore_delay(length, sink_cap(net)))
+            from_gate[net] = None
+
+        for inst_name in netlist.topological_instances():
+            inst = netlist.instances[inst_name]
+            cell = self.library.cell(inst.cell_name)
+            worst = 0.0
+            worst_net = None
+            for pin in sorted(inst.pins):
+                net = inst.pins[pin]
+                if net not in arrival:
+                    raise TimingError(
+                        f"instance {inst_name!r} reads un-timed net {net!r}")
+                if arrival[net] >= worst:
+                    worst = arrival[net]
+                    worst_net = net
+            out = inst.output
+            length = net_wirelength.get(out, 0.0)
+            caps = sink_cap(out)
+            load = self.wire.load_on_driver(length, caps)
+            arrival[out] = (worst + self.env.cell_delay(cell, load)
+                            + self.wire.elmore_delay(length, caps))
+            from_gate[out] = inst_name
+            if worst_net is not None:
+                worst_input_of[inst_name] = worst_net
+
+        output_arrival = {po: arrival[netlist.output_net[po]]
+                          for po in netlist.outputs}
+        critical_output = max(sorted(output_arrival),
+                              key=lambda po: output_arrival[po])
+        critical_path = self._trace(netlist, critical_output, from_gate,
+                                    worst_input_of)
+        return TimingReport(
+            arrival=arrival, output_arrival=output_arrival,
+            critical_output=critical_output,
+            critical_arrival=output_arrival[critical_output],
+            critical_path=critical_path,
+            net_wirelength=dict(net_wirelength))
+
+    def _trace(self, netlist: MappedNetlist, po: str,
+               from_gate: Dict[str, Optional[str]],
+               worst_input_of: Dict[str, str]) -> List[str]:
+        """Walk the worst path backwards from a primary output."""
+        path: List[str] = [po]
+        net = netlist.output_net[po]
+        guard = len(netlist.instances) + 2
+        while guard > 0:
+            guard -= 1
+            gate = from_gate.get(net)
+            if gate is None:
+                if net != path[-1]:
+                    path.append(net)  # the primary input
+                break
+            path.append(gate)
+            net = worst_input_of.get(gate)
+            if net is None:
+                break
+        path.reverse()
+        return path
+
+
+def arrival_at_output(report: TimingReport, po: str) -> float:
+    """Arrival at a specific primary output (Tables 3/5 middle column).
+
+    The paper compares one netlist's critical path *inside another
+    netlist* by looking up the same endpoint's arrival there.
+    """
+    try:
+        return report.output_arrival[po]
+    except KeyError:
+        raise TimingError(f"primary output {po!r} not in this report") from None

@@ -1,0 +1,97 @@
+"""Functional tests for the arithmetic circuit constructors."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    array_multiplier,
+    comparator,
+    mux_tree,
+    ripple_carry_adder,
+)
+from repro.errors import NetworkError
+from repro.network import exhaustive_stimulus, simulate_boolnet
+
+
+def unpack_bits(word, count):
+    return [(int(word) >> i) & 1 for i in range(count)]
+
+
+class TestAdder:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_adds_correctly(self, width):
+        net = ripple_carry_adder(width)
+        stim = exhaustive_stimulus(len(net.inputs))
+        out = simulate_boolnet(net, stim)
+        vectors = 1 << len(net.inputs)
+        order = net.inputs  # a0..a{n-1}, b0.., cin
+        for vec in range(vectors):
+            word, bit = divmod(vec, 64)
+            env = {}
+            for row, name in enumerate(order):
+                env[name] = (int(stim[row, word]) >> bit) & 1
+            a = sum(env[f"a{k}"] << k for k in range(width))
+            b = sum(env[f"b{k}"] << k for k in range(width))
+            total = a + b + env["cin"]
+            got = sum(((int(out[f"s{k}"][word]) >> bit) & 1) << k
+                      for k in range(width))
+            got += ((int(out[f"c{width-1}"][word]) >> bit) & 1) << width
+            assert got == total, f"a={a} b={b} cin={env['cin']}"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(NetworkError):
+            ripple_carry_adder(0)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_multiplies_correctly(self, width):
+        net = array_multiplier(width)
+        stim = exhaustive_stimulus(len(net.inputs))
+        out = simulate_boolnet(net, stim)
+        vectors = 1 << len(net.inputs)
+        for vec in range(vectors):
+            word, bit = divmod(vec, 64)
+            env = {name: (int(stim[row, word]) >> bit) & 1
+                   for row, name in enumerate(net.inputs)}
+            a = sum(env[f"a{k}"] << k for k in range(width))
+            b = sum(env[f"b{k}"] << k for k in range(width))
+            got = sum(((int(out[f"m{k}"][word]) >> bit) & 1) << k
+                      for k in range(2 * width))
+            assert got == a * b, f"{a} * {b}"
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [1, 3])
+    def test_compares_correctly(self, width):
+        net = comparator(width)
+        stim = exhaustive_stimulus(len(net.inputs))
+        out = simulate_boolnet(net, stim)
+        vectors = 1 << len(net.inputs)
+        for vec in range(vectors):
+            word, bit = divmod(vec, 64)
+            env = {name: (int(stim[row, word]) >> bit) & 1
+                   for row, name in enumerate(net.inputs)}
+            a = sum(env[f"a{k}"] << k for k in range(width))
+            b = sum(env[f"b{k}"] << k for k in range(width))
+            eq = (int(out["eq"][word]) >> bit) & 1
+            gt = (int(out["gt"][word]) >> bit) & 1
+            assert eq == (a == b)
+            assert gt == (a > b)
+
+
+class TestMux:
+    @pytest.mark.parametrize("bits", [1, 2])
+    def test_selects_correctly(self, bits):
+        net = mux_tree(bits)
+        stim = exhaustive_stimulus(len(net.inputs))
+        out = simulate_boolnet(net, stim)
+        vectors = 1 << len(net.inputs)
+        for vec in range(vectors):
+            word, bit = divmod(vec, 64)
+            env = {name: (int(stim[row, word]) >> bit) & 1
+                   for row, name in enumerate(net.inputs)}
+            sel = sum(env[f"s{k}"] << k for k in range(bits))
+            expected = env[f"d{sel}"]
+            got = (int(out["y"][word]) >> bit) & 1
+            assert got == expected

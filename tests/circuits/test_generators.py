@@ -1,0 +1,87 @@
+"""Tests for the synthetic circuit generators."""
+
+import pytest
+
+from repro.circuits import random_logic_network, random_pla
+from repro.network import decompose
+
+
+class TestRandomPla:
+    def test_deterministic_in_seed(self):
+        a = random_pla("t", 8, 4, 20, seed=3)
+        b = random_pla("t", 8, 4, 20, seed=3)
+        assert a.products == b.products
+
+    def test_seeds_differ(self):
+        a = random_pla("t", 8, 4, 20, seed=3)
+        b = random_pla("t", 8, 4, 20, seed=4)
+        assert a.products != b.products
+
+    def test_every_output_covered(self):
+        pla = random_pla("t", 8, 6, 10, outputs_per_product=(1, 1), seed=9)
+        for o in range(6):
+            assert any(out[o] == "1" for _, out in pla.products)
+
+    def test_literal_bounds(self):
+        pla = random_pla("t", 12, 4, 30, literals=(3, 5), seed=1)
+        for inp, _ in pla.products:
+            width = sum(1 for c in inp if c != "-")
+            assert 3 <= width <= 5
+
+    def test_sharing_bounds(self):
+        pla = random_pla("t", 8, 6, 30, outputs_per_product=(2, 3), seed=1)
+        for _, out in pla.products:
+            assert 2 <= out.count("1") <= 3
+
+    def test_grouping_restricts_outputs(self):
+        pla = random_pla("t", 12, 8, 40, outputs_per_product=(1, 2),
+                         groups=4, input_window=6, seed=2)
+        # Products of group g only feed outputs 2g..2g+1.
+        for p, (inp, out) in enumerate(pla.products):
+            g = p % 4
+            allowed = {2 * g, 2 * g + 1}
+            used = {i for i, c in enumerate(out) if c == "1"}
+            assert used <= allowed
+
+    def test_grouping_restricts_inputs(self):
+        pla = random_pla("t", 12, 8, 40, groups=4, input_window=5,
+                         literals=(2, 4), seed=2)
+        for p, (inp, _) in enumerate(pla.products):
+            g = p % 4
+            start = round(g * 12 / 4) % 12
+            window = {(start + j) % 12 for j in range(5)}
+            used = {i for i, c in enumerate(inp) if c != "-"}
+            assert used <= window
+
+    def test_flat_pla_uses_all_inputs(self):
+        pla = random_pla("t", 8, 4, 60, groups=1, seed=1)
+        used = set()
+        for inp, _ in pla.products:
+            used |= {i for i, c in enumerate(inp) if c != "-"}
+        assert len(used) == 8
+
+
+class TestRandomLogicNetwork:
+    def test_deterministic(self):
+        a = random_logic_network("t", 8, 20, 4, seed=5)
+        b = random_logic_network("t", 8, 20, 4, seed=5)
+        assert {n: node.sop for n, node in a.nodes.items()} == \
+            {n: node.sop for n, node in b.nodes.items()}
+
+    def test_valid_network(self):
+        net = random_logic_network("t", 8, 30, 6, seed=5)
+        net.check()
+        base = decompose(net)
+        base.check()
+
+    def test_outputs_exist(self):
+        net = random_logic_network("t", 8, 30, 6, seed=5)
+        assert 1 <= len(net.outputs) <= 6
+
+    def test_locality_bounds_fanin_reach(self):
+        net = random_logic_network("t", 4, 40, 4, locality=6, seed=7)
+        order = ["i0", "i1", "i2", "i3"] + [f"g{j}" for j in range(40)]
+        index = {name: i for i, name in enumerate(order)}
+        for name, node in net.nodes.items():
+            for fanin in node.fanin_names:
+                assert index[name] - index[fanin] <= 6 + 4

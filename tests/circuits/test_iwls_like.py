@@ -1,0 +1,82 @@
+"""Tests for the IWLS93-like benchmark stand-ins."""
+
+import pytest
+
+from repro.circuits import (
+    PDC_PROFILE,
+    SPLA_PROFILE,
+    TOO_LARGE_PROFILE,
+    benchmark,
+    pdc_like,
+    spla_like,
+    too_large_like,
+)
+from repro.network import decompose
+
+
+class TestProfiles:
+    def test_paper_gate_targets_recorded(self):
+        assert SPLA_PROFILE.paper_base_gates == 22_834
+        assert PDC_PROFILE.paper_base_gates == 23_058
+        assert TOO_LARGE_PROFILE.paper_base_gates == 27_977
+
+    @pytest.mark.parametrize("gen,profile", [
+        (spla_like, SPLA_PROFILE),
+        (pdc_like, PDC_PROFILE),
+        (too_large_like, TOO_LARGE_PROFILE),
+    ])
+    def test_default_scale_size(self, gen, profile):
+        """At scale 1/8 the decomposed gate count lands near 1/8 target."""
+        base = decompose(gen(0.125))
+        target = profile.paper_base_gates * 0.125
+        assert 0.4 * target <= base.num_gates() <= 1.6 * target
+
+    def test_deterministic(self):
+        a = decompose(spla_like(0.05))
+        b = decompose(spla_like(0.05))
+        assert a.stats() == b.stats()
+
+    def test_scale_grows_circuit(self):
+        small = decompose(spla_like(0.05)).num_gates()
+        large = decompose(spla_like(0.2)).num_gates()
+        assert large > 2 * small
+
+    def test_input_counts_match_paper(self):
+        assert len(spla_like(0.125).inputs) == 16
+        assert len(pdc_like(0.125).inputs) == 16
+        assert len(too_large_like(0.125).inputs) == 38
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            spla_like(0.0)
+        with pytest.raises(ValueError):
+            spla_like(2.0)
+
+
+class TestBenchmarkLookup:
+    def test_by_name(self):
+        net = benchmark("spla", 0.05)
+        assert net.name.startswith("spla_like")
+
+    def test_case_insensitive_and_suffix(self):
+        assert benchmark("PDC", 0.05).name.startswith("pdc_like")
+        assert benchmark("spla_like", 0.05).name.startswith("spla_like")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark("c6288")
+
+
+class TestStructure:
+    def test_valid_networks(self):
+        for gen in (spla_like, pdc_like, too_large_like):
+            net = gen(0.05)
+            net.check()
+            decompose(net).check()
+
+    def test_two_level_form(self):
+        net = spla_like(0.05)
+        # PLA networks are two-level: every node reads only inputs.
+        inputs = set(net.inputs)
+        for node in net.nodes.values():
+            assert node.fanin_names <= inputs

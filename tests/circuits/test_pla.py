@@ -1,0 +1,85 @@
+"""Tests for the PLA type and .pla format."""
+
+import pytest
+
+from repro.circuits import Pla, dump_pla, parse_pla
+from repro.errors import ParseError
+from repro.network import exhaustive_stimulus, simulate_boolnet
+
+
+@pytest.fixture
+def xor_pla():
+    pla = Pla(name="xor", inputs=["a", "b"], outputs=["y"])
+    pla.add_product("10", "1")
+    pla.add_product("01", "1")
+    return pla
+
+
+class TestPlaType:
+    def test_validation_width(self, xor_pla):
+        with pytest.raises(ParseError):
+            xor_pla.add_product("1", "1")
+        with pytest.raises(ParseError):
+            xor_pla.add_product("10", "11")
+
+    def test_validation_chars(self, xor_pla):
+        with pytest.raises(ParseError):
+            xor_pla.add_product("1x", "1")
+        with pytest.raises(ParseError):
+            xor_pla.add_product("10", "-")
+
+    def test_counts(self, xor_pla):
+        assert xor_pla.num_products() == 2
+        assert xor_pla.product_sharing() == pytest.approx(1.0)
+
+    def test_to_network_function(self, xor_pla):
+        net = xor_pla.to_network()
+        out = simulate_boolnet(net, exhaustive_stimulus(2))
+        assert int(out["y"][0]) & 0b1111 == 0b0110  # XOR truth table
+
+    def test_dont_care_input(self):
+        pla = Pla(name="t", inputs=["a", "b"], outputs=["y"])
+        pla.add_product("1-", "1")
+        net = pla.to_network()
+        out = simulate_boolnet(net, exhaustive_stimulus(2))
+        assert int(out["y"][0]) & 0b1111 == 0b1010  # y == a
+
+    def test_output_sharing(self):
+        pla = Pla(name="t", inputs=["a"], outputs=["y", "z"])
+        pla.add_product("1", "11")
+        assert pla.product_sharing() == pytest.approx(2.0)
+
+
+class TestFormat:
+    def test_roundtrip(self, xor_pla):
+        text = dump_pla(xor_pla)
+        back = parse_pla(text, name="xor")
+        assert back.inputs == xor_pla.inputs
+        assert back.outputs == xor_pla.outputs
+        assert back.products == xor_pla.products
+
+    def test_parse_minimal(self):
+        pla = parse_pla(".i 2\n.o 1\n10 1\n01 1\n.e\n")
+        assert pla.inputs == ["i0", "i1"]
+        assert pla.num_products() == 2
+
+    def test_parse_with_names(self):
+        pla = parse_pla(".i 1\n.o 1\n.ilb x\n.ob f\n1 1\n.e\n")
+        assert pla.inputs == ["x"]
+        assert pla.outputs == ["f"]
+
+    def test_comments_ignored(self):
+        pla = parse_pla("# header\n.i 1\n.o 1\n1 1  # row\n.e\n")
+        assert pla.num_products() == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pla("10 1\n")
+
+    def test_name_list_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pla(".i 2\n.o 1\n.ilb x\n10 1\n.e\n")
+
+    def test_joined_row_format(self):
+        pla = parse_pla(".i 2\n.o 1\n101\n.e\n")
+        assert pla.products == [("10", "1")]

@@ -1,0 +1,62 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import random_logic_network
+from repro.library import CORELIB018
+from repro.network import BooleanNetwork, decompose, parse_sop
+from repro.place import Floorplan
+
+
+@pytest.fixture
+def library():
+    """The default synthetic 0.18 µm library."""
+    return CORELIB018
+
+
+@pytest.fixture
+def small_network():
+    """An 8-input, 4-node network exercising shared and negated logic."""
+    net = BooleanNetwork("small")
+    for name in "abcdefgh":
+        net.add_input(name)
+    net.add_node("g1", parse_sop("a b + c'"))
+    net.add_node("g2", parse_sop("g1 d + a' c"))
+    net.add_node("g3", parse_sop("e f g + h"))
+    net.add_node("g4", parse_sop("g1' + g3 d"))
+    for out in ("g2", "g3", "g4"):
+        net.add_output(out)
+    return net
+
+
+@pytest.fixture
+def small_base(small_network):
+    """The small network decomposed to base gates."""
+    return decompose(small_network)
+
+
+@pytest.fixture
+def medium_network():
+    """A ~120-node random network (seeded, deterministic)."""
+    return random_logic_network("medium", num_inputs=16, num_nodes=120,
+                                num_outputs=12, seed=11)
+
+
+@pytest.fixture
+def medium_base(medium_network):
+    """The medium network decomposed to base gates."""
+    return decompose(medium_network)
+
+
+@pytest.fixture
+def tiny_floorplan():
+    """A 10-row square floorplan for fast placement tests."""
+    return Floorplan.from_rows(10, aspect=1.0)
+
+
+@pytest.fixture
+def small_floorplan():
+    """A 16-row square floorplan for routing tests."""
+    return Floorplan.from_rows(16, aspect=1.0)

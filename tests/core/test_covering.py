@@ -1,0 +1,200 @@
+"""Tests for the dynamic-programming tree covering."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    BoundaryInfo,
+    Matcher,
+    PositionMap,
+    POS,
+    NEG,
+    area_congestion,
+    cover_tree,
+    dagon_partition,
+    min_area,
+    placement_partition,
+)
+from repro.library import CORELIB018
+from repro.network import BooleanNetwork, decompose, parse_sop
+from repro.network.dag import BaseNetwork
+
+
+def cover_all(base, objective=None, positions=None):
+    """Cover every tree of a dagon partition; return total root cost."""
+    objective = objective or min_area()
+    positions = positions or PositionMap.zeros(base.num_vertices())
+    part = dagon_partition(base)
+    matcher = Matcher(base, CORELIB018)
+    boundary = BoundaryInfo(positions)
+    total = 0.0
+    for root in part.roots:
+        cover = cover_tree(base, part.trees[root], matcher, CORELIB018,
+                           objective, boundary, part.materialized)
+        total += cover.root_solution().area
+    return total
+
+
+class TestMinAreaOptimality:
+    def test_and2_cheaper_than_nand_inv(self):
+        net = BaseNetwork("and2")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        i = net.add_inv(net.add_nand2(a, b))
+        net.set_output("y", i)
+        total = cover_all(net)
+        assert total == pytest.approx(CORELIB018.cell("AND2_X1").area)
+
+    def test_nand3_cheaper_than_pieces(self):
+        net = BooleanNetwork("n3")
+        for v in "abc":
+            net.add_input(v)
+        net.add_node("f", parse_sop("a' + b' + c'"))
+        net.add_output("f")
+        base = decompose(net)
+        total = cover_all(base)
+        assert total == pytest.approx(CORELIB018.cell("NAND3_X1").area)
+
+    def test_matches_brute_force_on_small_trees(self):
+        """DP cost equals exhaustive minimum over random small trees."""
+        rng = random.Random(3)
+        for trial in range(8):
+            net = BaseNetwork(f"t{trial}")
+            inputs = [net.add_input(f"i{k}") for k in range(4)]
+            frontier = list(inputs)
+            for _ in range(5):
+                if rng.random() < 0.4:
+                    v = net.add_inv(rng.choice(frontier))
+                else:
+                    v = net.add_nand2(rng.choice(frontier),
+                                      rng.choice(frontier))
+                frontier.append(v)
+            net.set_output("y", frontier[-1])
+            dp_cost = cover_all(net)
+            brute = _brute_force_min_area(net)
+            assert dp_cost == pytest.approx(brute), \
+                f"DP {dp_cost} != brute {brute}"
+
+
+def _brute_force_min_area(base):
+    """Exhaustive min-area cover cost of a (single-root) base network.
+
+    Enumerates all covers by recursive choice of matches; exponential,
+    fine for <= ~8 gates.  Mirrors the DP's shared-vertex cost model:
+    materialized (multi-fanout) vertices are costed once.
+    """
+    part = dagon_partition(base)
+    matcher = Matcher(base, CORELIB018)
+    inv = CORELIB018.inverter
+
+    memo = {}
+
+    def best(root, members, phase):
+        key = (root, phase)
+        if key in memo:
+            return memo[key]
+        matches = matcher.matches_at(root, lambda v: v in members)
+        best_cost = float("inf")
+        for match in matches[phase]:
+            cost = match.cell.area
+            for _, (u, leaf_phase) in match.leaves:
+                if u not in members or (u in part.materialized
+                                        and u != root):
+                    cost += 0.0 if leaf_phase == POS else inv.area
+                else:
+                    cost += best(u, members, leaf_phase)
+            best_cost = min(best_cost, cost)
+        # Phase conversion via inverter.
+        for match in matches[not phase]:
+            cost = match.cell.area + inv.area
+            for _, (u, leaf_phase) in match.leaves:
+                if u not in members or (u in part.materialized
+                                        and u != root):
+                    cost += 0.0 if leaf_phase == POS else inv.area
+                else:
+                    cost += best(u, members, leaf_phase)
+            best_cost = min(best_cost, cost)
+        memo[key] = best_cost
+        return best_cost
+
+    total = 0.0
+    for root in part.roots:
+        memo.clear()
+        total += best(root, part.trees[root].members, POS)
+    return total
+
+
+class TestWireCost:
+    def test_wire_zero_when_colocated(self, small_base):
+        positions = PositionMap.zeros(small_base.num_vertices())
+        part = placement_partition(small_base, positions)
+        matcher = Matcher(small_base, CORELIB018)
+        boundary = BoundaryInfo(positions)
+        for root in part.roots:
+            cover = cover_tree(small_base, part.trees[root], matcher,
+                               CORELIB018, area_congestion(1.0), boundary,
+                               part.materialized)
+            assert cover.root_solution().wire1 == pytest.approx(0.0)
+
+    def test_high_k_reduces_wire(self, medium_base):
+        rng = random.Random(9)
+        positions = PositionMap(
+            [(rng.uniform(0, 200), rng.uniform(0, 200))
+             for _ in range(medium_base.num_vertices())])
+        part = placement_partition(medium_base, positions)
+        matcher = Matcher(medium_base, CORELIB018)
+
+        def total_wire(objective):
+            boundary = BoundaryInfo(positions.copy())
+            wire = 0.0
+            for root in part.roots:
+                cover = cover_tree(medium_base, part.trees[root], matcher,
+                                   CORELIB018, objective, boundary,
+                                   part.materialized)
+                wire += cover.root_solution().wire_transitive
+            return wire
+
+        assert total_wire(area_congestion(50.0)) <= \
+            total_wire(area_congestion(0.0)) + 1e-9
+
+    def test_area_grows_with_k(self, medium_base):
+        rng = random.Random(9)
+        positions = PositionMap(
+            [(rng.uniform(0, 200), rng.uniform(0, 200))
+             for _ in range(medium_base.num_vertices())])
+        low = cover_all(medium_base, area_congestion(0.0), positions)
+        high = cover_all(medium_base, area_congestion(50.0), positions)
+        assert high >= low
+
+
+class TestSolutionBookkeeping:
+    def test_root_positive_solution_exists(self, small_base):
+        part = dagon_partition(small_base)
+        matcher = Matcher(small_base, CORELIB018)
+        boundary = BoundaryInfo(PositionMap.zeros(small_base.num_vertices()))
+        for root in part.roots:
+            cover = cover_tree(small_base, part.trees[root], matcher,
+                               CORELIB018, min_area(), boundary,
+                               part.materialized)
+            sol = cover.root_solution()
+            assert sol.area > 0
+            assert sol.match is not None or sol.inv_source is not None
+
+    def test_arrival_monotone_with_depth(self):
+        net = BaseNetwork("chain")
+        a = net.add_input("a")
+        v = a
+        arrivals = []
+        part_matcher = None
+        for depth in range(1, 5):
+            v = net.add_inv(v)
+        net.set_output("y", v)
+        part = dagon_partition(net)
+        matcher = Matcher(net, CORELIB018)
+        boundary = BoundaryInfo(PositionMap.zeros(net.num_vertices()))
+        cover = cover_tree(net, part.trees[part.roots[0]], matcher,
+                           CORELIB018, min_area(), boundary,
+                           part.materialized)
+        assert cover.root_solution().arrival > 0

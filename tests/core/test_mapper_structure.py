@@ -1,0 +1,85 @@
+"""Structural tests of the netlist the mapper builds."""
+
+import pytest
+
+from repro.core import PositionMap, area_congestion, map_network, min_area
+from repro.library import CORELIB018
+from repro.network import BooleanNetwork, decompose, parse_sop
+
+
+class TestNetNaming:
+    def test_po_drives_net_of_same_name(self, small_base):
+        result = map_network(small_base, CORELIB018, min_area())
+        drivers = result.netlist.driver_map()
+        for po in small_base.outputs:
+            net = result.netlist.output_net[po]
+            assert net in drivers or net in result.netlist.inputs
+
+    def test_pi_nets_named_after_inputs(self, small_base):
+        result = map_network(small_base, CORELIB018, min_area())
+        assert set(result.netlist.inputs) == set(small_base.input_vertex)
+
+    def test_net_of_vertex_covers_materialized(self, small_base):
+        result = map_network(small_base, CORELIB018, min_area())
+        for root in result.partition.roots:
+            assert root in result.net_of_vertex
+
+
+class TestInverterSharing:
+    def test_single_shared_inverter_per_net(self):
+        """Many NEG uses of one shared signal yield exactly one INV."""
+        net = BooleanNetwork("s")
+        for v in "abcde":
+            net.add_input(v)
+        net.add_node("s", parse_sop("a b"))
+        for k, reader in enumerate("cde"):
+            net.add_node(f"f{k}", parse_sop(f"s' {reader}"))
+            net.add_output(f"f{k}")
+        net.add_output("s")
+        base = decompose(net)
+        result = map_network(base, CORELIB018, min_area())
+        # Count inverters reading the net that carries s.
+        s_net = result.netlist.output_net["s"]
+        invs = [i for i in result.netlist.instances.values()
+                if i.cell_name.startswith("INV")
+                and i.pins.get("A") == s_net]
+        assert len(invs) <= 1
+
+
+class TestWirelengthAccounting:
+    def test_zero_positions_zero_wire(self, small_base):
+        positions = PositionMap.zeros(small_base.num_vertices())
+        result = map_network(small_base, CORELIB018, area_congestion(0.01),
+                             partition_style="placement",
+                             positions=positions)
+        assert result.estimated_wirelength == pytest.approx(0.0)
+
+    def test_wire_scales_with_geometry(self, small_base):
+        import random
+        rng = random.Random(5)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10))
+               for _ in range(small_base.num_vertices())]
+        small = map_network(small_base, CORELIB018, area_congestion(0.001),
+                            partition_style="placement",
+                            positions=PositionMap(pts))
+        scaled = map_network(
+            small_base, CORELIB018, area_congestion(0.001),
+            partition_style="placement",
+            positions=PositionMap([(10 * x, 10 * y) for x, y in pts]))
+        # Same relative geometry, 10x size: wire estimate ~10x (the
+        # cover may differ slightly since K is not rescaled).
+        assert scaled.estimated_wirelength > 4 * small.estimated_wirelength
+
+
+class TestCommittedPositions:
+    def test_committed_positions_inside_original_hull(self, small_base):
+        import random
+        rng = random.Random(6)
+        pts = [(rng.uniform(0, 50), rng.uniform(0, 50))
+               for _ in range(small_base.num_vertices())]
+        result = map_network(small_base, CORELIB018, area_congestion(0.01),
+                             partition_style="placement",
+                             positions=PositionMap(pts))
+        for name, (x, y) in result.instance_positions.items():
+            assert -1e-6 <= x <= 50 + 1e-6
+            assert -1e-6 <= y <= 50 + 1e-6

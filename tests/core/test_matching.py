@@ -1,0 +1,132 @@
+"""Tests for the phase-aware structural matcher."""
+
+import pytest
+
+from repro.core import Matcher, NEG, POS
+from repro.library import CORELIB018
+from repro.network import BooleanNetwork, decompose, parse_sop
+from repro.network.dag import BaseNetwork
+
+
+def all_consumable(_v):
+    return True
+
+
+@pytest.fixture
+def and_base():
+    """INV(NAND2(a, b)) — an AND2 shape."""
+    net = BaseNetwork("and2")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    n = net.add_nand2(a, b)
+    i = net.add_inv(n)
+    net.set_output("y", i)
+    return net, n, i
+
+
+class TestBasicMatches:
+    def test_nand_cell_matches_nand_vertex(self, and_base):
+        base, nand_v, _ = and_base
+        matcher = Matcher(base, CORELIB018)
+        matches = matcher.matches_at(nand_v, all_consumable)
+        names = {m.cell.name for m in matches[POS]}
+        assert "NAND2_X1" in names
+        assert "NAND2_X2" in names
+
+    def test_and_cell_matches_inv_of_nand(self, and_base):
+        base, _, inv_v = and_base
+        matcher = Matcher(base, CORELIB018)
+        matches = matcher.matches_at(inv_v, all_consumable)
+        names = {m.cell.name for m in matches[POS]}
+        assert "AND2_X1" in names
+        assert "INV_X1" in names  # inverter covering just the INV
+
+    def test_and_match_consumes_both_gates(self, and_base):
+        base, nand_v, inv_v = and_base
+        matcher = Matcher(base, CORELIB018)
+        and_matches = [m for m in matcher.matches_at(inv_v, all_consumable)[POS]
+                       if m.cell.name == "AND2_X1"]
+        assert and_matches
+        assert and_matches[0].consumed == {nand_v, inv_v}
+
+    def test_neg_phase_and_at_nand(self, and_base):
+        """AND2 rooted at the NAND vertex with NEG phase: out == NOT nand."""
+        base, nand_v, _ = and_base
+        matcher = Matcher(base, CORELIB018)
+        matches = matcher.matches_at(nand_v, all_consumable)
+        names = {m.cell.name for m in matches[NEG]}
+        assert "AND2_X1" in names
+
+    def test_leaf_bindings_point_at_inputs(self, and_base):
+        base, nand_v, _ = and_base
+        matcher = Matcher(base, CORELIB018)
+        nand_match = [m for m in matcher.matches_at(nand_v, all_consumable)[POS]
+                      if m.cell.name == "NAND2_X1"][0]
+        bound = {v for _, (v, _) in nand_match.leaves}
+        assert bound == {base.input_vertex["a"], base.input_vertex["b"]}
+
+
+class TestPolarityPropagation:
+    def test_or_matches_nand_of_inverters(self):
+        net = BaseNetwork("or2")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        na = net.add_inv(a)
+        nb = net.add_inv(b)
+        out = net.add_nand2(na, nb)
+        net.set_output("y", out)
+        matcher = Matcher(net, CORELIB018)
+        matches = matcher.matches_at(out, all_consumable)
+        or_matches = [m for m in matches[POS] if m.cell.name == "OR2_X1"]
+        assert or_matches
+        # One variant consumes both subject inverters (leaves = a, b)...
+        assert any(m.consumed == {na, nb, out} for m in or_matches)
+        # ...and another lets the pattern INVs supply the negation,
+        # binding the inverter outputs with negative polarity.
+        assert any(m.consumed == {out}
+                   and all(not phase for _, (_, phase) in m.leaves)
+                   for m in or_matches)
+
+    def test_boundary_stops_consumption(self):
+        net = BaseNetwork("bound")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        n1 = net.add_nand2(a, b)
+        i1 = net.add_inv(n1)
+        net.set_output("y", i1)
+        matcher = Matcher(net, CORELIB018)
+        # n1 is not consumable: AND2 cannot match at i1.
+        matches = matcher.matches_at(i1, lambda v: v == i1)
+        names = {m.cell.name for m in matches[POS]}
+        assert "AND2_X1" not in names
+        assert "INV_X1" in names
+
+    def test_root_not_consumable_no_matches(self, and_base):
+        base, _, inv_v = and_base
+        matcher = Matcher(base, CORELIB018)
+        matches = matcher.matches_at(inv_v, lambda v: False)
+        assert matches[POS] == [] and matches[NEG] == []
+
+
+class TestComplexCells:
+    def test_aoi21_matches(self):
+        net = BooleanNetwork("aoi")
+        for v in "abc":
+            net.add_input(v)
+        net.add_node("f", parse_sop("a' c' + b' c'"))  # NOT(ab + c)
+        net.add_output("f")
+        base = decompose(net)
+        matcher = Matcher(base, CORELIB018)
+        root = base.outputs["f"]
+        matches = matcher.matches_at(root, all_consumable)
+        assert any(m.cell.name == "AOI21_X1" for m in matches[POS]) or \
+            any(m.cell.name == "AOI21_X1" for m in matches[NEG])
+
+    def test_symmetry_gives_both_orders(self, and_base):
+        base, nand_v, _ = and_base
+        matcher = Matcher(base, CORELIB018)
+        # OAI21: NAND(OR(A,B), C): at the nand vertex, leaf C can bind to
+        # either input; deduplication keeps distinct bindings only.
+        matches = matcher.matches_at(nand_v, all_consumable)[POS]
+        keys = {(m.cell.name, tuple(sorted(m.leaves))) for m in matches}
+        assert len(keys) == len(matches)  # all deduped

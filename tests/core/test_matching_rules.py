@@ -1,0 +1,152 @@
+"""Systematic coverage of the phase-matching rule system.
+
+Each rule of the matcher (pattern INV supplying a free negation,
+subject INV consumption with polarity flip, NAND2 symmetry) is pinned
+by a dedicated structural case, plus global sanity invariants every
+match must satisfy.
+"""
+
+import pytest
+
+from repro.core import Matcher, NEG, POS
+from repro.library import CORELIB018
+from repro.network.dag import BaseNetwork
+
+
+def all_consumable(_v):
+    return True
+
+
+def matches_of(net, vertex, cell_name, phase):
+    matcher = Matcher(net, CORELIB018)
+    return [m for m in matcher.matches_at(vertex, all_consumable)[phase]
+            if m.cell.name == cell_name]
+
+
+class TestBufferPattern:
+    def test_buf_over_single_inverter_neg_leaf(self):
+        """BUF = INV(INV(A)): over one subject INV it binds A negatively."""
+        net = BaseNetwork("b")
+        a = net.add_input("a")
+        i = net.add_inv(a)
+        net.set_output("y", i)
+        bufs = matches_of(net, i, "BUF_X1", POS)
+        assert bufs
+        ((_, (vertex, phase)),) = bufs[0].leaves
+        assert vertex == a and phase == NEG
+
+    def test_buf_over_inverter_pair(self):
+        net = BaseNetwork("b")
+        a = net.add_input("a")
+        i1 = net.add_inv(a)
+        # Force a second distinct inverter (hashing would merge i1).
+        n = net.add_nand2(i1, i1)
+        i2 = net.add_inv(n)
+        net.set_output("y", i2)
+        bufs = matches_of(net, i2, "BUF_X1", POS)
+        # BUF must bind (n, NEG): INV(INV(n)) == n... through one INV.
+        assert any(m.leaves[0][1] == (n, NEG) for m in bufs)
+
+
+class TestNandChainShapes:
+    def chain_nand4(self):
+        """NOT(abcd) as the left-deep chain decompose would emit."""
+        net = BaseNetwork("c")
+        a, b, c, d = (net.add_input(x) for x in "abcd")
+        ab = net.add_inv(net.add_nand2(a, b))     # ab
+        abc = net.add_inv(net.add_nand2(ab, c))   # abc
+        out = net.add_nand2(abc, d)               # NOT(abcd)
+        net.set_output("y", out)
+        return net, out
+
+    def balanced_nand4(self):
+        net = BaseNetwork("b")
+        a, b, c, d = (net.add_input(x) for x in "abcd")
+        ab = net.add_inv(net.add_nand2(a, b))
+        cd = net.add_inv(net.add_nand2(c, d))
+        out = net.add_nand2(ab, cd)
+        net.set_output("y", out)
+        return net, out
+
+    def test_chain_pattern_matches_chain_subject(self):
+        net, out = self.chain_nand4()
+        assert matches_of(net, out, "NAND4_X1", POS)
+
+    def test_balanced_pattern_matches_balanced_subject(self):
+        net, out = self.balanced_nand4()
+        assert matches_of(net, out, "NAND4_X1", POS)
+
+    def test_nand4_binds_all_four_inputs(self):
+        net, out = self.balanced_nand4()
+        match = matches_of(net, out, "NAND4_X1", POS)[0]
+        bound = {v for _, (v, _) in match.leaves}
+        assert bound == {net.input_vertex[x] for x in "abcd"}
+
+
+class TestComplexGates:
+    def test_aoi22(self):
+        """AOI22 = NOT(ab + cd) over INV(NAND(NAND(a,b), NAND(c,d)))."""
+        net = BaseNetwork("a")
+        a, b, c, d = (net.add_input(x) for x in "abcd")
+        nab = net.add_nand2(a, b)
+        ncd = net.add_nand2(c, d)
+        out = net.add_inv(net.add_nand2(nab, ncd))
+        net.set_output("y", out)
+        assert matches_of(net, out, "AOI22_X1", POS)
+        # The same structure minus the INV is AOI22 in NEG phase at the
+        # NAND vertex.
+        nand_v = net.add_nand2(nab, ncd)
+        assert matches_of(net, nand_v, "AOI22_X1", NEG)
+
+    def test_nor3(self):
+        """NOR3 = a'b'c' via the canonical AND-of-inverters shape."""
+        net = BaseNetwork("n")
+        a, b, c = (net.add_input(x) for x in "abc")
+        ia, ib, ic = net.add_inv(a), net.add_inv(b), net.add_inv(c)
+        ab = net.add_inv(net.add_nand2(ia, ib))
+        out = net.add_inv(net.add_nand2(ab, ic))
+        net.set_output("y", out)
+        assert matches_of(net, out, "NOR3_X1", POS)
+
+    def test_oai21_requires_or_shape(self):
+        """OAI21 = NOT((a+b)c): matches NAND(OR-shape, c) only."""
+        net = BaseNetwork("o")
+        a, b, c = (net.add_input(x) for x in "abc")
+        or_ab = net.add_nand2(net.add_inv(a), net.add_inv(b))
+        out = net.add_nand2(or_ab, c)
+        net.set_output("y", out)
+        assert matches_of(net, out, "OAI21_X1", POS)
+        # A plain NAND of two inputs has no OR branch for the pattern.
+        plain = net.add_nand2(a, c)
+        matches = matches_of(net, plain, "OAI21_X1", POS)
+        # Any match here must bind its OR branch negatively (free
+        # pattern INVs), never positively through a non-existent OR.
+        for m in matches:
+            assert m.consumed == {plain}
+
+
+class TestMatchInvariants:
+    @pytest.fixture
+    def subject(self, medium_base):
+        return medium_base
+
+    def test_all_matches_well_formed(self, subject):
+        matcher = Matcher(subject, CORELIB018)
+        for v in list(subject.gates())[:120]:
+            out = matcher.matches_at(v, all_consumable)
+            for phase in (POS, NEG):
+                for m in out[phase]:
+                    assert v in m.consumed, "root must be covered"
+                    leaf_vertices = {u for _, (u, _) in m.leaves}
+                    assert not (leaf_vertices & m.consumed), \
+                        "leaves must not be covered by the match"
+                    assert len(m.leaves) == m.cell.num_inputs
+                    assert {p for p, _ in m.leaves} == \
+                        set(m.cell.input_pins)
+
+    def test_matching_deterministic(self, subject):
+        matcher = Matcher(subject, CORELIB018)
+        v = next(iter(subject.gates()))
+        a = matcher.matches_at(v, all_consumable)
+        b = matcher.matches_at(v, all_consumable)
+        assert [repr(m) for m in a[POS]] == [repr(m) for m in b[POS]]

@@ -1,0 +1,63 @@
+"""Tests for position bookkeeping and distance metrics."""
+
+import pytest
+
+from repro.core import EUCLIDEAN, MANHATTAN, PositionMap, distance
+from repro.errors import MappingError
+
+
+class TestDistance:
+    def test_manhattan(self):
+        assert distance((0, 0), (3, 4), MANHATTAN) == pytest.approx(7.0)
+
+    def test_euclidean(self):
+        assert distance((0, 0), (3, 4), EUCLIDEAN) == pytest.approx(5.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(MappingError):
+            distance((0, 0), (1, 1), "chebyshev")
+
+    def test_symmetry(self):
+        assert distance((1, 2), (5, 9)) == distance((5, 9), (1, 2))
+
+
+class TestPositionMap:
+    def test_get_set(self):
+        pm = PositionMap([(0, 0), (1, 1)])
+        pm.set(0, (5.0, 6.0))
+        assert pm.get(0) == (5.0, 6.0)
+        assert len(pm) == 2
+
+    def test_zeros(self):
+        pm = PositionMap.zeros(3)
+        assert pm.get(2) == (0.0, 0.0)
+
+    def test_centroid(self):
+        pm = PositionMap([(0, 0), (2, 0), (1, 3)])
+        assert pm.centroid([0, 1, 2]) == pytest.approx((1.0, 1.0))
+
+    def test_centroid_empty_rejected(self):
+        pm = PositionMap([(0, 0)])
+        with pytest.raises(MappingError):
+            pm.centroid([])
+
+    def test_commit_collapses(self):
+        pm = PositionMap([(0, 0), (2, 0), (9, 9)])
+        pm.commit([0, 1], (1.0, 0.0))
+        assert pm.get(0) == (1.0, 0.0)
+        assert pm.get(1) == (1.0, 0.0)
+        assert pm.get(2) == (9.0, 9.0)
+
+    def test_copy_is_independent(self):
+        pm = PositionMap([(0, 0)])
+        clone = pm.copy()
+        clone.set(0, (7, 7))
+        assert pm.get(0) == (0.0, 0.0)
+
+    def test_dist_vertices_uses_metric(self):
+        pm = PositionMap([(0, 0), (3, 4)], metric=EUCLIDEAN)
+        assert pm.dist_vertices(0, 1) == pytest.approx(5.0)
+
+    def test_as_points_roundtrip(self):
+        points = [(0.5, 1.5), (2.0, 3.0)]
+        assert PositionMap(points).as_points() == points

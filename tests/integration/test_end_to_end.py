@@ -1,0 +1,109 @@
+"""End-to-end integration: PLA -> synth -> map -> place -> route -> STA."""
+
+import pytest
+
+from repro.circuits import random_pla, ripple_carry_adder
+from repro.core import (
+    FlowConfig,
+    area_congestion,
+    evaluate_netlist,
+    map_network,
+    min_area,
+    timing_of_point,
+)
+from repro.io import dump_blif, dump_verilog, parse_blif
+from repro.library import CORELIB018
+from repro.network import check_base_vs_mapped, decompose
+from repro.place import Floorplan, place_base_network
+from repro.synth import optimize
+from repro.timing import StaticTimingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FlowConfig(library=CORELIB018, max_route_iterations=8)
+
+
+class TestPlaPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, ):
+        pla = random_pla("e2e", num_inputs=10, num_outputs=6,
+                         num_products=28, literals=(3, 6),
+                         outputs_per_product=(1, 2), groups=3,
+                         input_window=6, seed=42)
+        net = pla.to_network()
+        reference = net.copy()
+        optimize(net, effort="standard")
+        base = decompose(net)
+        floorplan = Floorplan.from_rows(16, aspect=1.0)
+        positions = place_base_network(base, floorplan)
+        mapping = map_network(base, CORELIB018, area_congestion(0.002),
+                              partition_style="placement",
+                              positions=positions)
+        return reference, base, floorplan, mapping
+
+    def test_function_preserved_through_pipeline(self, pipeline):
+        reference, base, _, mapping = pipeline
+        # base was decomposed from the optimized network, which must
+        # still match the original PLA.
+        from repro.network.equiv import _compare, _reorder, _stimulus
+        from repro.network.simulate import simulate_boolnet, simulate_mapped
+        stim, valid = _stimulus(reference.inputs, 2048, seed=11)
+        ref_out = simulate_boolnet(reference, stim)
+        got = simulate_mapped(mapping.netlist, CORELIB018,
+                              _reorder(stim, reference.inputs,
+                                       mapping.netlist.inputs))
+        assert _compare(ref_out, got, valid) is None
+
+    def test_physical_flow(self, pipeline, config):
+        _, _, floorplan, mapping = pipeline
+        point = evaluate_netlist(mapping.netlist, floorplan, config)
+        assert point.cell_area > 0
+        assert point.hpwl > 0
+        assert point.routed_wirelength >= 0
+        # STA over the routed result.
+        point.mapping = mapping
+        report = timing_of_point(point, config)
+        assert report.critical_arrival > 0
+        assert len(report.critical_path) >= 3
+
+    def test_netlist_serialisation(self, pipeline):
+        _, _, _, mapping = pipeline
+        text = dump_verilog(mapping.netlist)
+        assert text.count("(.Y(") == mapping.netlist.num_cells()
+
+
+class TestAdderPipeline:
+    def test_adder_through_full_flow(self, config):
+        net = ripple_carry_adder(6)
+        base = decompose(net)
+        mapping = map_network(base, CORELIB018, min_area())
+        check_base_vs_mapped(base, mapping.netlist, CORELIB018)
+        floorplan = Floorplan.for_area(
+            mapping.stats["cell_area"] / 0.35, aspect=1.0)
+        point = evaluate_netlist(mapping.netlist, floorplan, config)
+        assert point.violations == 0, "a small adder must route easily"
+        sta = StaticTimingAnalyzer(CORELIB018)
+        lengths = {n: point.routing.net_wirelength(n)
+                   for n in point.routing.routes}
+        report = sta.analyze(mapping.netlist, lengths)
+        # Critical path of a ripple adder ends at the MSB sum or carry.
+        assert report.critical_output in ("s5", "c5")
+
+
+class TestBlifInterop:
+    def test_synthesis_via_blif_roundtrip(self, config):
+        net = ripple_carry_adder(4)
+        text = dump_blif(net)
+        back = parse_blif(text)
+        optimize(back, effort="standard")
+        base = decompose(back)
+        mapping = map_network(base, CORELIB018, min_area())
+        from repro.network.equiv import _compare, _reorder, _stimulus
+        from repro.network.simulate import simulate_boolnet, simulate_mapped
+        stim, valid = _stimulus(net.inputs, 2048, seed=4)
+        ref = simulate_boolnet(net, stim)
+        got = simulate_mapped(mapping.netlist, CORELIB018,
+                              _reorder(stim, net.inputs,
+                                       mapping.netlist.inputs))
+        assert _compare(ref, got, valid) is None

@@ -1,0 +1,118 @@
+"""Failure injection: corrupted inputs must fail loudly, not silently.
+
+A production EDA tool's worst failure mode is accepting a broken
+netlist and producing a plausible-looking wrong answer; these tests
+corrupt structures at each pipeline stage and assert the library
+raises its typed errors instead of proceeding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FlowConfig, PositionMap, map_network, min_area
+from repro.errors import (
+    MappingError,
+    NetworkError,
+    ParseError,
+    PlacementError,
+    ReproError,
+)
+from repro.circuits import parse_pla
+from repro.io import parse_blif
+from repro.library import CORELIB018
+from repro.network import BooleanNetwork, MappedNetlist, decompose, parse_sop
+from repro.place import Floorplan, check_legal
+
+
+class TestNetworkCorruption:
+    def test_cycle_caught_before_decompose(self):
+        net = BooleanNetwork("c")
+        net.add_input("a")
+        net.add_node("x", parse_sop("a y"))
+        net.add_node("y", parse_sop("x"))
+        net.add_output("y")
+        with pytest.raises(NetworkError):
+            decompose(net)
+
+    def test_dangling_output_caught(self):
+        net = BooleanNetwork("d")
+        net.add_input("a")
+        net.add_output("ghost")
+        with pytest.raises(NetworkError):
+            decompose(net)
+
+
+class TestMappingCorruption:
+    def test_short_position_map(self, small_base):
+        with pytest.raises(MappingError):
+            map_network(small_base, CORELIB018, min_area(),
+                        partition_style="placement",
+                        positions=PositionMap([(0.0, 0.0)]))
+
+    def test_bad_partition_style(self, small_base):
+        with pytest.raises(MappingError):
+            map_network(small_base, CORELIB018, min_area(),
+                        partition_style="zigzag")
+
+
+class TestNetlistCorruption:
+    def test_double_driver_detected(self):
+        nl = MappedNetlist("dd")
+        nl.add_input("a")
+        nl.add_instance("INV_X1", {"A": "a"}, "y", name="u1")
+        nl.add_instance("INV_X2", {"A": "a"}, "y", name="u2")
+        nl.add_output("y")
+        with pytest.raises(NetworkError, match="multiple drivers"):
+            nl.check()
+
+    def test_simulation_refuses_undriven(self):
+        from repro.network import simulate_mapped, random_stimulus
+        nl = MappedNetlist("ud")
+        nl.add_input("a")
+        nl.add_instance("NAND2_X1", {"A": "a", "B": "ghost"}, "y", name="u1")
+        nl.add_output("y")
+        with pytest.raises(NetworkError):
+            simulate_mapped(nl, CORELIB018, random_stimulus(1, 64))
+
+
+class TestPlacementCorruption:
+    def test_overlapping_cells_rejected(self):
+        fp = Floorplan(width=20.0, row_height=5.0, num_rows=2)
+        positions = np.array([[5.0, 2.5], [5.5, 2.5]])
+        with pytest.raises(PlacementError):
+            check_legal(positions, [4.0, 4.0], fp)
+
+    def test_infeasible_floorplan_rejected_before_routing(self, medium_base):
+        result = map_network(medium_base, CORELIB018, min_area())
+        config = FlowConfig(library=CORELIB018)
+        from repro.core import evaluate_netlist
+        with pytest.raises(PlacementError):
+            evaluate_netlist(result.netlist, Floorplan.from_rows(2), config)
+
+
+class TestParserCorruption:
+    @pytest.mark.parametrize("text", [
+        ".inputs a\n.outputs f\n.names a f\n1 1\n.end",   # no .model is OK,
+    ])
+    def test_blif_headerless_tolerated(self, text):
+        parse_blif(text)  # .model is optional in our subset
+
+    @pytest.mark.parametrize("text", [
+        ".model m\n.inputs a\n.outputs f\n.names a f\nxx 1\n.end",
+        ".model m\n.inputs a\n.outputs f\n.names a f\n1 1 1\n.end",
+    ])
+    def test_blif_bad_rows_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+    @pytest.mark.parametrize("text", [
+        "10 1",                      # missing header
+        ".i 2\n.o 1\n1x 1\n.e",      # bad character
+    ])
+    def test_pla_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_pla(text)
+
+    def test_everything_is_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            parse_pla("garbage")

@@ -1,0 +1,44 @@
+"""Tests for placement save/load."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io import dump_placement, parse_placement
+from repro.place import Floorplan, Placement
+
+
+@pytest.fixture
+def placement():
+    fp = Floorplan(width=50.0, row_height=5.0, num_rows=10)
+    return Placement(
+        positions={"u1": (10.0, 2.5), "u2": (20.5, 7.5)},
+        pads={"a": (0.0, 12.0), "y": (50.0, 30.0)},
+        floorplan=fp)
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, placement):
+        back = parse_placement(dump_placement(placement))
+        assert back.positions == placement.positions
+        assert back.pads == placement.pads
+        assert back.floorplan.width == pytest.approx(placement.floorplan.width)
+        assert back.floorplan.num_rows == placement.floorplan.num_rows
+
+    def test_comments_ignored(self, placement):
+        text = "# comment\n" + dump_placement(placement)
+        back = parse_placement(text)
+        assert back.positions == placement.positions
+
+
+class TestErrors:
+    def test_missing_die(self):
+        with pytest.raises(ParseError, match="DIE"):
+            parse_placement("CELL u1 1.0 2.0\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(ParseError):
+            parse_placement("DIE 10 5 2\nBLOB x 1 2\n")
+
+    def test_malformed_cell(self):
+        with pytest.raises(ParseError):
+            parse_placement("DIE 10 5 2\nCELL u1 1.0\n")

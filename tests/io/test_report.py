@@ -1,0 +1,39 @@
+"""Tests for table rendering."""
+
+from repro.io import format_table, k_sweep_table
+from repro.core.flow import EvalPoint
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long_name", 123456]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all same width
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.0001], [12.5], [123456.7]])
+        assert "0.0001" in text
+        assert "12.50" in text
+        assert "123457" in text
+
+
+class TestKSweepTable:
+    def _point(self, k, violations):
+        return EvalPoint(k=k, cell_area=1000.0, num_cells=50,
+                         utilization=61.0, violations=violations,
+                         overflowed_nets=0, routed_wirelength=0.0,
+                         hpwl=0.0, routable=violations == 0)
+
+    def test_layout(self):
+        text = k_sweep_table([self._point(0.0, 100), self._point(0.001, 0)],
+                             title="Table 2")
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Cell Area" in lines[1]
+        assert "Routing violations" in lines[1]
+        assert len(lines) == 5  # title, header, separator, 2 rows

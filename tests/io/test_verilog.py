@@ -1,0 +1,61 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+import pytest
+
+from repro.core import map_network, min_area
+from repro.io import dump_verilog
+from repro.library import CORELIB018
+from repro.network import MappedNetlist
+
+
+@pytest.fixture
+def tiny_netlist():
+    nl = MappedNetlist("tiny")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_instance("NAND2_X1", {"A": "a", "B": "b"}, "n1", name="u1")
+    nl.add_instance("INV_X1", {"A": "n1"}, "y", name="u2")
+    nl.add_output("y")
+    return nl
+
+
+class TestVerilog:
+    def test_module_header(self, tiny_netlist):
+        text = dump_verilog(tiny_netlist)
+        assert text.startswith("module tiny (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_ports_declared(self, tiny_netlist):
+        text = dump_verilog(tiny_netlist)
+        assert "input a;" in text
+        assert "input b;" in text
+        assert "output y;" in text
+
+    def test_instances_emitted(self, tiny_netlist):
+        text = dump_verilog(tiny_netlist)
+        assert "NAND2_X1 u1 (.Y(n1), .A(a), .B(b));" in text
+        assert "INV_X1 u2 (.Y(y), .A(n1));" in text
+
+    def test_internal_wires_declared(self, tiny_netlist):
+        assert "wire n1;" in dump_verilog(tiny_netlist)
+
+    def test_output_alias_assigned(self, tiny_netlist):
+        tiny_netlist.add_output("y2", net="y")
+        text = dump_verilog(tiny_netlist)
+        assert "assign y2 = y;" in text
+
+    def test_escaped_identifiers(self):
+        nl = MappedNetlist("esc")
+        nl.add_input("a[0]")
+        nl.add_instance("INV_X1", {"A": "a[0]"}, "y", name="u1")
+        nl.add_output("y")
+        text = dump_verilog(nl)
+        assert "\\a[0] " in text
+
+    def test_mapped_netlist_dumps(self, medium_base):
+        result = map_network(medium_base, CORELIB018, min_area())
+        text = dump_verilog(result.netlist)
+        # One instance line (with a .Y output connection) per cell.
+        assert text.count("(.Y(") == result.netlist.num_cells()

@@ -1,0 +1,101 @@
+"""Tests for the structural Verilog reader."""
+
+import pytest
+
+from repro.core import map_network, min_area
+from repro.errors import ParseError
+from repro.io import dump_verilog, parse_verilog
+from repro.library import CORELIB018
+from repro.network import decompose
+from repro.network.equiv import _compare, _reorder, _stimulus
+from repro.network.simulate import simulate_mapped
+
+
+SAMPLE = """
+// a hand-written module
+module tiny (a, b, y);
+  input a;
+  input b;
+  output y;
+  wire n1;
+  NAND2_X1 u1 (.Y(n1), .A(a), .B(b));
+  INV_X1 u2 (.Y(y), .A(n1));
+endmodule
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        nl = parse_verilog(SAMPLE, CORELIB018)
+        assert nl.name == "tiny"
+        assert nl.inputs == ["a", "b"]
+        assert nl.outputs == ["y"]
+        assert nl.instances["u1"].cell_name == "NAND2_X1"
+        assert nl.instances["u2"].pins == {"A": "n1"}
+
+    def test_comments_stripped(self):
+        text = SAMPLE.replace("wire n1;", "wire n1; /* block\ncomment */")
+        nl = parse_verilog(text, CORELIB018)
+        assert nl.num_cells() == 2
+
+    def test_assign_alias(self):
+        text = SAMPLE.replace("output y;", "output y;\n  output y2;")
+        text = text.replace("endmodule", "  assign y2 = y;\nendmodule")
+        text = text.replace("(a, b, y)", "(a, b, y, y2)")
+        nl = parse_verilog(text, CORELIB018)
+        assert nl.output_net["y2"] == "y"
+
+    def test_no_module_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog("wire x;")
+
+    def test_multiple_modules_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog(SAMPLE + "\nmodule other (x); input x; endmodule")
+
+    def test_bus_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog("module m (a); input [3:0] a; endmodule")
+
+    def test_missing_output_pin_rejected(self):
+        text = SAMPLE.replace(".Y(n1), ", "")
+        with pytest.raises(ParseError, match="no .Y output"):
+            parse_verilog(text, CORELIB018)
+
+    def test_pin_mismatch_rejected(self):
+        text = SAMPLE.replace(".A(a), .B(b)", ".A(a)")
+        with pytest.raises(ParseError, match="do not match"):
+            parse_verilog(text, CORELIB018)
+
+    def test_unknown_cell_with_library_rejected(self):
+        text = SAMPLE.replace("NAND2_X1", "XOR9_X1")
+        with pytest.raises(Exception):
+            parse_verilog(text, CORELIB018)
+
+    def test_without_library_no_validation(self):
+        text = SAMPLE.replace("NAND2_X1", "CUSTOM_CELL")
+        nl = parse_verilog(text)
+        assert nl.instances["u1"].cell_name == "CUSTOM_CELL"
+
+
+class TestRoundtrip:
+    def test_mapped_netlist_roundtrip(self, medium_base):
+        result = map_network(medium_base, CORELIB018, min_area())
+        nl = result.netlist
+        back = parse_verilog(dump_verilog(nl), CORELIB018)
+        assert back.num_cells() == nl.num_cells()
+        assert back.outputs == nl.outputs
+        stim, valid = _stimulus(nl.inputs, 2048, seed=9)
+        ref = simulate_mapped(nl, CORELIB018, stim)
+        got = simulate_mapped(back, CORELIB018,
+                              _reorder(stim, nl.inputs, back.inputs))
+        assert _compare(ref, got, valid) is None
+
+    def test_escaped_names_roundtrip(self):
+        from repro.network import MappedNetlist
+        nl = MappedNetlist("esc")
+        nl.add_input("a[0]")
+        nl.add_instance("INV_X1", {"A": "a[0]"}, "y", name="u1")
+        nl.add_output("y")
+        back = parse_verilog(dump_verilog(nl), CORELIB018)
+        assert back.inputs == ["a[0]"]

@@ -1,0 +1,93 @@
+"""Tests for the cell / library data model."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library import CellLibrary, LibCell, leaf, pinv, pnand
+from repro.network.sop import parse_sop
+
+
+def make_inv(name="INV", area=1.0):
+    return LibCell(name=name, patterns=(pinv(leaf("A")),), area=area,
+                   intrinsic_delay=0.02, drive_resistance=5.0,
+                   pin_caps={"A": 0.002})
+
+
+def make_nand(name="ND2", area=2.0):
+    return LibCell(name=name, patterns=(pnand(leaf("A"), leaf("B")),),
+                   area=area, intrinsic_delay=0.03, drive_resistance=6.0,
+                   pin_caps={"A": 0.002, "B": 0.002})
+
+
+class TestLibCell:
+    def test_function_from_pattern(self):
+        assert make_nand().function == parse_sop("A' + B'")
+
+    def test_input_pins_sorted(self):
+        assert make_nand().input_pins == ["A", "B"]
+
+    def test_delay_linear(self):
+        cell = make_inv()
+        assert cell.delay(0.0) == pytest.approx(0.02)
+        assert cell.delay(0.01) == pytest.approx(0.02 + 0.05)
+
+    def test_missing_pin_cap_rejected(self):
+        with pytest.raises(LibraryError, match="capacitance"):
+            LibCell(name="bad", patterns=(pinv(leaf("A")),), area=1.0,
+                    intrinsic_delay=0.02, drive_resistance=5.0, pin_caps={})
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(LibraryError, match="area"):
+            make_inv(area=0.0)
+
+    def test_no_pattern_rejected(self):
+        with pytest.raises(LibraryError):
+            LibCell(name="bad", patterns=(), area=1.0, intrinsic_delay=0.0,
+                    drive_resistance=1.0, pin_caps={})
+
+    def test_inconsistent_patterns_rejected(self):
+        with pytest.raises(LibraryError):
+            LibCell(name="bad",
+                    patterns=(pnand(leaf("A"), leaf("B")),
+                              pinv(pnand(leaf("A"), leaf("B")))),
+                    area=1.0, intrinsic_delay=0.0, drive_resistance=1.0,
+                    pin_caps={"A": 0.001, "B": 0.001})
+
+
+class TestCellLibrary:
+    def test_lookup(self):
+        lib = CellLibrary("t", [make_inv(), make_nand()])
+        assert lib.cell("INV").name == "INV"
+        assert "ND2" in lib
+        assert len(lib) == 2
+
+    def test_unknown_cell(self):
+        lib = CellLibrary("t", [make_inv(), make_nand()])
+        with pytest.raises(LibraryError):
+            lib.cell("XOR9")
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(LibraryError):
+            CellLibrary("t", [make_inv(), make_inv()])
+
+    def test_inverter_is_smallest(self):
+        small = make_inv("INV_S", area=0.5)
+        big = make_inv("INV_B", area=2.0)
+        lib = CellLibrary("t", [small, big, make_nand()])
+        assert lib.inverter.name == "INV_S"
+
+    def test_library_without_inverter_rejected(self):
+        with pytest.raises(LibraryError, match="inverter"):
+            CellLibrary("t", [make_nand()])
+
+    def test_library_without_nand_rejected(self):
+        with pytest.raises(LibraryError, match="NAND"):
+            CellLibrary("t", [make_inv()])
+
+    def test_cell_width(self):
+        lib = CellLibrary("t", [make_inv(), make_nand()], row_height=2.0)
+        assert lib.cell_width("ND2") == pytest.approx(1.0)
+
+    def test_max_pattern_depth(self):
+        lib = CellLibrary("t", [make_inv(), make_nand()])
+        assert lib.max_pattern_depth() == 1

@@ -1,0 +1,73 @@
+"""Tests for the synthetic corelib018 library."""
+
+import pytest
+
+from repro.library import CORELIB018, build_corelib018, pattern_to_sop
+from repro.network.sop import parse_sop
+
+
+class TestCalibration:
+    def test_figure1_min_area_mapping(self):
+        """NAND3 + AOI21 + 2 INV must equal the paper's 53.248 µm²."""
+        total = (CORELIB018.cell("NAND3_X1").area
+                 + CORELIB018.cell("AOI21_X1").area
+                 + 2 * CORELIB018.cell("INV_X1").area)
+        assert total == pytest.approx(53.248)
+
+    def test_figure1_congestion_mapping(self):
+        """2 OR2 + 2 NAND2 + INV must equal the paper's 65.536 µm²."""
+        total = (2 * CORELIB018.cell("OR2_X1").area
+                 + 2 * CORELIB018.cell("NAND2_X1").area
+                 + CORELIB018.cell("INV_X1").area)
+        assert total == pytest.approx(65.536)
+
+
+class TestContents:
+    def test_has_basic_cells(self):
+        for name in ("INV_X1", "NAND2_X1", "NAND3_X1", "NOR2_X1",
+                     "AND2_X1", "OR2_X1", "AOI21_X1", "OAI21_X1", "BUF_X1"):
+            assert name in CORELIB018
+
+    def test_functions(self):
+        assert CORELIB018.cell("NAND2_X1").function == parse_sop("A' + B'")
+        assert CORELIB018.cell("NOR2_X1").function == parse_sop("A' B'")
+        assert CORELIB018.cell("AND2_X1").function == parse_sop("A B")
+        assert CORELIB018.cell("OR2_X1").function == parse_sop("A + B")
+        assert CORELIB018.cell("AOI21_X1").function == \
+            parse_sop("A' C' + B' C'")
+
+    def test_inverter_selection(self):
+        assert CORELIB018.inverter.name == "INV_X1"
+
+    def test_base_nand_selection(self):
+        assert CORELIB018.base_nand.name == "NAND2_X1"
+
+    def test_drive_strengths_ordered(self):
+        x1 = CORELIB018.cell("INV_X1")
+        x2 = CORELIB018.cell("INV_X2")
+        x4 = CORELIB018.cell("INV_X4")
+        assert x1.area < x2.area < x4.area
+        assert x1.drive_resistance > x2.drive_resistance > x4.drive_resistance
+
+    def test_all_patterns_consistent(self):
+        for cell in CORELIB018.cells():
+            reference = cell.function
+            for pattern in cell.patterns:
+                assert pattern_to_sop(pattern) == reference
+
+    def test_multi_pattern_cells(self):
+        assert len(CORELIB018.cell("NAND3_X1").patterns) == 2
+        assert len(CORELIB018.cell("NAND4_X1").patterns) == 2
+
+    def test_builder_returns_fresh_equivalent(self):
+        lib = build_corelib018()
+        assert lib.cell_names() == CORELIB018.cell_names()
+
+    def test_row_height(self):
+        assert CORELIB018.row_height == pytest.approx(5.2)
+
+    def test_areas_positive_and_monotone_in_inputs(self):
+        nand2 = CORELIB018.cell("NAND2_X1").area
+        nand3 = CORELIB018.cell("NAND3_X1").area
+        nand4 = CORELIB018.cell("NAND4_X1").area
+        assert 0 < nand2 < nand3 < nand4

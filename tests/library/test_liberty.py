@@ -1,0 +1,64 @@
+"""Tests for the mini-liberty format."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.library import CORELIB018, dump_library, load_library, parse_pattern
+
+
+class TestPatternParsing:
+    @pytest.mark.parametrize("text", [
+        "A", "INV(A)", "NAND(A, B)", "NAND(INV(A), INV(B))",
+        "INV(NAND(NAND(A, B), INV(C)))",
+    ])
+    def test_roundtrip(self, text):
+        assert parse_pattern(text).to_string() == text
+
+    def test_whitespace_tolerated(self):
+        assert parse_pattern(" NAND( A ,  B ) ").to_string() == "NAND(A, B)"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("INV(A) junk")
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("INV(A")
+
+    def test_missing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("NAND(A B)")
+
+
+class TestLibraryRoundtrip:
+    def test_full_roundtrip(self):
+        text = dump_library(CORELIB018)
+        lib = load_library(text)
+        assert lib.name == CORELIB018.name
+        assert lib.cell_names() == CORELIB018.cell_names()
+        for name in lib.cell_names():
+            a, b = lib.cell(name), CORELIB018.cell(name)
+            assert a.area == pytest.approx(b.area)
+            assert a.intrinsic_delay == pytest.approx(b.intrinsic_delay)
+            assert a.drive_resistance == pytest.approx(b.drive_resistance)
+            assert a.function == b.function
+            assert a.pin_caps == b.pin_caps
+
+    def test_row_height_roundtrip(self):
+        lib = load_library(dump_library(CORELIB018))
+        assert lib.row_height == pytest.approx(CORELIB018.row_height)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError):
+            load_library("cell (\"X\") { }")
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ParseError):
+            load_library('library ("empty") { }')
+
+    def test_cell_missing_area_rejected(self):
+        text = ('library ("t") { cell ("X") { intrinsic : 1; '
+                'resistance : 1; pattern : INV(A); '
+                'pin ("A") { cap : 0.001; } } }')
+        with pytest.raises(ParseError, match="area"):
+            load_library(text)

@@ -1,0 +1,61 @@
+"""Tests for pattern trees."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library import leaf, pattern_to_sop, pinv, pnand
+from repro.network.sop import parse_sop
+
+
+class TestStructure:
+    def test_leaves_order(self):
+        p = pnand(pinv(leaf("A")), leaf("B"))
+        assert p.leaves() == ["A", "B"]
+
+    def test_num_gates(self):
+        p = pnand(pinv(leaf("A")), leaf("B"))
+        assert p.num_gates() == 2
+
+    def test_depth(self):
+        p = pinv(pnand(leaf("A"), pinv(leaf("B"))))
+        assert p.depth() == 3
+
+    def test_read_once_enforced(self):
+        p = pnand(leaf("A"), leaf("A"))
+        with pytest.raises(LibraryError, match="read-once"):
+            p.check()
+
+    def test_leaf_without_pin_rejected(self):
+        from repro.library.patterns import PatternNode, LEAF
+        with pytest.raises(LibraryError):
+            PatternNode(LEAF).check()
+
+    def test_bad_arity_rejected(self):
+        from repro.library.patterns import P_INV, P_NAND, PatternNode
+        with pytest.raises(LibraryError):
+            PatternNode(P_INV, children=[leaf("A"), leaf("B")]).check()
+        with pytest.raises(LibraryError):
+            PatternNode(P_NAND, children=[leaf("A")]).check()
+
+    def test_to_string(self):
+        p = pnand(pinv(leaf("A")), leaf("B"))
+        assert p.to_string() == "NAND(INV(A), B)"
+
+
+class TestFunctionDerivation:
+    @pytest.mark.parametrize("pattern,expected", [
+        (pinv(leaf("A")), "A'"),
+        (pnand(leaf("A"), leaf("B")), "A' + B'"),
+        (pinv(pnand(leaf("A"), leaf("B"))), "A B"),
+        (pnand(pinv(leaf("A")), pinv(leaf("B"))), "A + B"),
+        (pinv(pnand(pinv(leaf("A")), pinv(leaf("B")))), "A' B'"),
+        (pinv(pnand(pnand(leaf("A"), leaf("B")), pinv(leaf("C")))),
+         "A' C' + B' C'"),                            # AOI21
+        (pnand(pnand(pinv(leaf("A")), pinv(leaf("B"))), leaf("C")),
+         "A' B' + C'"),                               # OAI21
+    ])
+    def test_known_functions(self, pattern, expected):
+        assert pattern_to_sop(pattern) == parse_sop(expected)
+
+    def test_buffer(self):
+        assert pattern_to_sop(pinv(pinv(leaf("A")))) == parse_sop("A")

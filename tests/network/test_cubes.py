@@ -1,0 +1,164 @@
+"""Unit tests for cube algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.cubes import (
+    ONE_CUBE,
+    cube_cofactor,
+    cube_contains,
+    cube_distance,
+    cube_divide,
+    cube_mul,
+    cube_str,
+    cube_vars,
+    lit,
+    lit_negate,
+    lit_str,
+    make_cube,
+    supercube,
+)
+
+VARS = "abcdef"
+
+
+def cubes_strategy(max_size=4):
+    literal = st.tuples(st.sampled_from(VARS), st.booleans())
+    return st.frozensets(literal, max_size=max_size).map(
+        lambda s: make_cube(s))
+
+
+class TestLiterals:
+    def test_negate_is_involution(self):
+        literal = lit("x", True)
+        assert lit_negate(lit_negate(literal)) == literal
+
+    def test_negate_flips_phase(self):
+        assert lit_negate(lit("x", True)) == ("x", False)
+
+    def test_str_positive(self):
+        assert lit_str(lit("x")) == "x"
+
+    def test_str_negative(self):
+        assert lit_str(lit("x", False)) == "x'"
+
+
+class TestMakeCube:
+    def test_empty_is_one(self):
+        assert make_cube([]) == ONE_CUBE
+
+    def test_conflicting_phases_is_null(self):
+        assert make_cube([lit("a", True), lit("a", False)]) is None
+
+    def test_duplicate_literal_collapses(self):
+        cube = make_cube([lit("a"), lit("a")])
+        assert cube == frozenset([lit("a")])
+
+    def test_vars(self):
+        cube = make_cube([lit("a"), lit("b", False)])
+        assert cube_vars(cube) == frozenset("ab")
+
+
+class TestCubeAlgebra:
+    def test_mul_disjoint(self):
+        ab = cube_mul(make_cube([lit("a")]), make_cube([lit("b")]))
+        assert ab == make_cube([lit("a"), lit("b")])
+
+    def test_mul_null(self):
+        assert cube_mul(make_cube([lit("a")]),
+                        make_cube([lit("a", False)])) is None
+
+    def test_mul_identity(self):
+        cube = make_cube([lit("a"), lit("b", False)])
+        assert cube_mul(cube, ONE_CUBE) == cube
+
+    def test_divide_subset(self):
+        abc = make_cube([lit("a"), lit("b"), lit("c")])
+        ab = make_cube([lit("a"), lit("b")])
+        assert cube_divide(abc, ab) == make_cube([lit("c")])
+
+    def test_divide_not_subset(self):
+        ab = make_cube([lit("a"), lit("b")])
+        cd = make_cube([lit("c"), lit("d")])
+        assert cube_divide(ab, cd) is None
+
+    def test_divide_wrong_phase(self):
+        a = make_cube([lit("a")])
+        na = make_cube([lit("a", False)])
+        assert cube_divide(a, na) is None
+
+    def test_contains(self):
+        abc = make_cube([lit("a"), lit("b"), lit("c")])
+        ab = make_cube([lit("a"), lit("b")])
+        assert cube_contains(abc, ab)
+        assert not cube_contains(ab, abc)
+
+    def test_cofactor_removes_literal(self):
+        ab = make_cube([lit("a"), lit("b")])
+        assert cube_cofactor(ab, lit("a")) == make_cube([lit("b")])
+
+    def test_cofactor_conflict_is_none(self):
+        ab = make_cube([lit("a"), lit("b")])
+        assert cube_cofactor(ab, lit("a", False)) is None
+
+    def test_cofactor_absent_literal_keeps_cube(self):
+        ab = make_cube([lit("a"), lit("b")])
+        assert cube_cofactor(ab, lit("c")) == ab
+
+
+class TestSupercube:
+    def test_common_literal_survives(self):
+        c1 = make_cube([lit("a"), lit("b")])
+        c2 = make_cube([lit("a"), lit("c")])
+        assert supercube([c1, c2]) == make_cube([lit("a")])
+
+    def test_no_common(self):
+        c1 = make_cube([lit("a")])
+        c2 = make_cube([lit("b")])
+        assert supercube([c1, c2]) == ONE_CUBE
+
+    def test_empty_input(self):
+        assert supercube([]) == ONE_CUBE
+
+
+class TestDistance:
+    def test_zero_distance(self):
+        c1 = make_cube([lit("a"), lit("b")])
+        c2 = make_cube([lit("a"), lit("c")])
+        assert cube_distance(c1, c2) == 0
+
+    def test_one_distance(self):
+        c1 = make_cube([lit("a"), lit("b")])
+        c2 = make_cube([lit("a", False), lit("b")])
+        assert cube_distance(c1, c2) == 1
+
+
+class TestStr:
+    def test_one_cube(self):
+        assert cube_str(ONE_CUBE) == "1"
+
+    def test_ordering_deterministic(self):
+        cube = make_cube([lit("b"), lit("a", False)])
+        assert cube_str(cube) == "a' b"
+
+
+class TestProperties:
+    @given(cubes_strategy(), cubes_strategy())
+    def test_mul_commutative(self, a, b):
+        if a is None or b is None:
+            return
+        assert cube_mul(a, b) == cube_mul(b, a)
+
+    @given(cubes_strategy(), cubes_strategy())
+    def test_divide_then_mul_restores(self, a, b):
+        if a is None or b is None:
+            return
+        quotient = cube_divide(a, b)
+        if quotient is not None:
+            assert cube_mul(quotient, b) == a
+
+    @given(cubes_strategy())
+    def test_supercube_of_self(self, a):
+        if a is None:
+            return
+        assert supercube([a, a]) == a

@@ -1,0 +1,91 @@
+"""Unit tests for the base-gate DAG."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.dag import BaseNetwork, INV, NAND2, PI
+
+
+@pytest.fixture
+def tiny():
+    net = BaseNetwork("tiny")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    n1 = net.add_nand2(a, b)
+    i1 = net.add_inv(n1)
+    net.set_output("y", i1)
+    return net
+
+
+class TestConstruction:
+    def test_kinds(self, tiny):
+        assert tiny.kind[0] == PI
+        assert tiny.kind[2] == NAND2
+        assert tiny.kind[3] == INV
+
+    def test_duplicate_input_rejected(self, tiny):
+        with pytest.raises(NetworkError):
+            tiny.add_input("a")
+
+    def test_bad_arity(self, tiny):
+        with pytest.raises(NetworkError):
+            tiny.add_gate(NAND2, (0,))
+        with pytest.raises(NetworkError):
+            tiny.add_gate(INV, (0, 1))
+
+    def test_unknown_kind(self, tiny):
+        with pytest.raises(NetworkError):
+            tiny.add_gate("xor", (0, 1))
+
+    def test_missing_fanin(self, tiny):
+        with pytest.raises(NetworkError):
+            tiny.add_inv(99)
+
+    def test_output_on_missing_vertex(self, tiny):
+        with pytest.raises(NetworkError):
+            tiny.set_output("z", 99)
+
+
+class TestStructuralHashing:
+    def test_nand_reuse(self, tiny):
+        v1 = tiny.add_nand2(0, 1)
+        v2 = tiny.add_nand2(1, 0)  # symmetric
+        assert v1 == v2 == 2
+
+    def test_inv_reuse(self, tiny):
+        assert tiny.add_inv(2) == 3
+
+    def test_distinct_gates_not_merged(self, tiny):
+        v = tiny.add_nand2(0, 3)
+        assert v != 2
+
+
+class TestQueries:
+    def test_counts(self, tiny):
+        stats = tiny.stats()
+        assert stats == {"inputs": 2, "outputs": 1, "gates": 2,
+                         "nand2": 1, "inv": 1}
+
+    def test_fanout_counts_include_po(self, tiny):
+        counts = tiny.fanout_counts()
+        assert counts[3] == 1  # the PO
+        assert counts[2] == 1  # feeds the inverter
+
+    def test_roots_are_po_drivers(self, tiny):
+        assert tiny.roots() == [3]
+
+    def test_roots_deduplicated(self, tiny):
+        tiny.set_output("y2", 3)
+        assert tiny.roots() == [3]
+
+    def test_transitive_fanin(self, tiny):
+        assert tiny.transitive_fanin([3]) == {0, 1, 2, 3}
+
+    def test_topological_is_creation_order(self, tiny):
+        assert tiny.topological_order() == [0, 1, 2, 3]
+
+    def test_check_passes(self, tiny):
+        tiny.check()
+
+    def test_gates_iterator(self, tiny):
+        assert list(tiny.gates()) == [2, 3]

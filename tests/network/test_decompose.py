@@ -1,0 +1,120 @@
+"""Tests for technology decomposition (SOP -> NAND2/INV)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.network import (
+    BooleanNetwork,
+    check_boolnet_vs_base,
+    decompose,
+    parse_sop,
+)
+from repro.network.sop import Sop
+
+VARS = "abcd"
+
+
+def sop_strategy():
+    literal = st.tuples(st.sampled_from(VARS), st.booleans())
+    cube = st.frozensets(literal, min_size=1, max_size=3)
+    return st.lists(cube, min_size=1, max_size=4).map(Sop.from_cubes)
+
+
+class TestBasicDecomposition:
+    @pytest.mark.parametrize("text", [
+        "a", "a'", "a b", "a + b", "a b + c", "a b c d",
+        "a' b' + c' d'", "a b + a' b'",
+    ])
+    def test_preserves_function(self, text):
+        net = BooleanNetwork("t")
+        for v in VARS:
+            net.add_input(v)
+        net.add_node("f", parse_sop(text))
+        net.add_output("f")
+        base = decompose(net)
+        check_boolnet_vs_base(net, base)
+
+    def test_multi_node_network(self, small_network):
+        base = decompose(small_network)
+        check_boolnet_vs_base(small_network, base)
+
+    def test_outputs_preserved(self, small_network):
+        base = decompose(small_network)
+        assert set(base.outputs) == set(small_network.outputs)
+
+    def test_inputs_preserved(self, small_network):
+        base = decompose(small_network)
+        assert set(base.input_vertex) == set(small_network.inputs)
+
+    def test_only_base_gates(self, small_base):
+        small_base.check()
+        stats = small_base.stats()
+        assert stats["gates"] == stats["nand2"] + stats["inv"]
+
+
+class TestConstants:
+    def test_constant_one_output(self):
+        net = BooleanNetwork("one")
+        net.add_input("a")
+        net.add_node("f", Sop.one())
+        net.add_output("f")
+        base = decompose(net)
+        check_boolnet_vs_base(net, base)
+
+    def test_constant_zero_output(self):
+        net = BooleanNetwork("zero")
+        net.add_input("a")
+        net.add_node("f", Sop.zero())
+        net.add_output("f")
+        base = decompose(net)
+        check_boolnet_vs_base(net, base)
+
+    def test_no_inputs_with_nodes_rejected(self):
+        net = BooleanNetwork("empty")
+        net.add_node("f", Sop.one())
+        net.add_output("f")
+        with pytest.raises(NetworkError):
+            decompose(net)
+
+
+class TestSharing:
+    def test_shared_inverters(self):
+        # Both nodes use a'; structural hashing must share the inverter.
+        net = BooleanNetwork("t")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("f", parse_sop("a' b"))
+        net.add_node("g", parse_sop("a' b'"))
+        net.add_output("f")
+        net.add_output("g")
+        base = decompose(net)
+        inv_of_a = [v for v in base.gates()
+                    if base.kind[v] == "inv"
+                    and base.fanins[v][0] == base.input_vertex["a"]]
+        assert len(inv_of_a) == 1
+
+    def test_identical_cubes_shared(self):
+        net = BooleanNetwork("t")
+        for v in "ab":
+            net.add_input(v)
+        net.add_node("f", parse_sop("a b"))
+        net.add_node("g", parse_sop("a b"))
+        net.add_output("f")
+        net.add_output("g")
+        base = decompose(net)
+        # Both outputs should map onto the same vertex via hashing.
+        assert base.outputs["f"] == base.outputs["g"]
+
+
+class TestProperty:
+    @given(sop_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_random_sops_preserved(self, sop):
+        net = BooleanNetwork("p")
+        for v in VARS:
+            net.add_input(v)
+        net.add_node("f", sop)
+        net.add_output("f")
+        base = decompose(net)
+        check_boolnet_vs_base(net, base)

@@ -1,0 +1,93 @@
+"""Tests for the equivalence-check helpers themselves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import BooleanNetwork, decompose, parse_sop
+from repro.network.equiv import (
+    EXHAUSTIVE_LIMIT,
+    _compare,
+    _mask_tail,
+    _reorder,
+    _stimulus,
+    check_base_vs_mapped,
+    check_boolnet_vs_base,
+)
+
+
+class TestStimulusSelection:
+    def test_small_support_uses_exhaustive(self):
+        stim, valid = _stimulus(["a", "b", "c"], 4096, seed=1)
+        assert valid == 8
+
+    def test_large_support_uses_random(self):
+        names = [f"i{k}" for k in range(EXHAUSTIVE_LIMIT + 1)]
+        stim, valid = _stimulus(names, 512, seed=1)
+        assert valid == stim.shape[1] * 64
+        assert stim.shape[0] == len(names)
+
+
+class TestMaskTail:
+    def test_padding_bits_zeroed(self):
+        words = {"f": np.array([0xFFFF_FFFF_FFFF_FFFF], dtype=np.uint64)}
+        masked = _mask_tail(words, valid=4)
+        assert int(masked["f"][0]) == 0b1111
+
+    def test_full_width_untouched(self):
+        words = {"f": np.array([123], dtype=np.uint64)}
+        assert int(_mask_tail(words, valid=64)["f"][0]) == 123
+
+
+class TestReorder:
+    def test_permutes_rows(self):
+        stim = np.array([[1], [2], [3]], dtype=np.uint64)
+        out = _reorder(stim, ["a", "b", "c"], ["c", "a", "b"])
+        assert out.tolist() == [[3], [1], [2]]
+
+    def test_unknown_name_raises(self):
+        stim = np.zeros((1, 1), dtype=np.uint64)
+        with pytest.raises(NetworkError):
+            _reorder(stim, ["a"], ["zzz"])
+
+
+class TestCompare:
+    def test_output_set_mismatch(self):
+        a = {"f": np.zeros(1, dtype=np.uint64)}
+        b = {"g": np.zeros(1, dtype=np.uint64)}
+        with pytest.raises(NetworkError, match="output sets differ"):
+            _compare(a, b, 64)
+
+    def test_difference_beyond_valid_ignored(self):
+        a = {"f": np.array([0b0101], dtype=np.uint64)}
+        b = {"f": np.array([0b1101], dtype=np.uint64)}
+        assert _compare(a, b, valid=3) is None
+        assert _compare(a, b, valid=4) == "f"
+
+
+class TestCheckers:
+    def test_base_check_catches_mutation(self, small_network):
+        base = decompose(small_network)
+        # Corrupt one output binding.
+        other = sorted(v for v in base.gates())[0]
+        base.outputs["g2"] = other
+        with pytest.raises(NetworkError):
+            check_boolnet_vs_base(small_network, base)
+
+    def test_mapped_check_catches_wrong_cell(self, small_base):
+        from repro.core import map_network, min_area
+        from repro.library import CORELIB018
+        result = map_network(small_base, CORELIB018, min_area())
+        inst = next(iter(result.netlist.instances.values()))
+        # Swap a NAND for a NOR (same pins, different function).
+        if inst.cell_name.startswith("NAND2"):
+            inst.cell_name = "NOR2_X1"
+        else:
+            for cand in result.netlist.instances.values():
+                if cand.cell_name.startswith("NAND2"):
+                    cand.cell_name = "NOR2_X1"
+                    break
+            else:
+                pytest.skip("no NAND2 instance to corrupt")
+        with pytest.raises(NetworkError):
+            check_base_vs_mapped(small_base, result.netlist, CORELIB018)

@@ -1,0 +1,112 @@
+"""Tests for bit-parallel simulation and equivalence checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    BooleanNetwork,
+    check_boolnet_vs_boolnet,
+    decompose,
+    exhaustive_stimulus,
+    parse_sop,
+    random_stimulus,
+    simulate_base,
+    simulate_boolnet,
+)
+
+
+class TestStimulus:
+    def test_exhaustive_shape(self):
+        stim = exhaustive_stimulus(3)
+        assert stim.shape == (3, 1)
+
+    def test_exhaustive_patterns(self):
+        stim = exhaustive_stimulus(2)
+        # 4 vectors: input 0 toggles fastest.
+        assert int(stim[0, 0]) & 0b1111 == 0b1010
+        assert int(stim[1, 0]) & 0b1111 == 0b1100
+
+    def test_exhaustive_limit(self):
+        with pytest.raises(NetworkError):
+            exhaustive_stimulus(21)
+
+    def test_random_deterministic(self):
+        a = random_stimulus(4, 256, seed=7)
+        b = random_stimulus(4, 256, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_random_seeds_differ(self):
+        a = random_stimulus(4, 256, seed=1)
+        b = random_stimulus(4, 256, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestSimulateBoolnet:
+    def test_and_gate(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("f", parse_sop("a b"))
+        net.add_output("f")
+        out = simulate_boolnet(net, exhaustive_stimulus(2))
+        assert int(out["f"][0]) & 0b1111 == 0b1000
+
+    def test_complement(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_node("f", parse_sop("a'"))
+        net.add_output("f")
+        out = simulate_boolnet(net, exhaustive_stimulus(1))
+        assert int(out["f"][0]) & 0b11 == 0b01
+
+    def test_wrong_stimulus_rows(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_output("a")
+        with pytest.raises(NetworkError):
+            simulate_boolnet(net, exhaustive_stimulus(2))
+
+
+class TestSimulateBase:
+    def test_nand_inv(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("f", parse_sop("a b"))
+        net.add_output("f")
+        base = decompose(net)
+        ref = simulate_boolnet(net, exhaustive_stimulus(2))
+        got = simulate_base(base, exhaustive_stimulus(2))
+        mask = np.uint64(0b1111)
+        assert (ref["f"][0] & mask) == (got["f"][0] & mask)
+
+
+class TestEquivChecker:
+    def test_detects_difference(self):
+        net1 = BooleanNetwork("a")
+        net1.add_input("x")
+        net1.add_node("f", parse_sop("x"))
+        net1.add_output("f")
+        net2 = BooleanNetwork("b")
+        net2.add_input("x")
+        net2.add_node("f", parse_sop("x'"))
+        net2.add_output("f")
+        with pytest.raises(NetworkError, match="changed function"):
+            check_boolnet_vs_boolnet(net1, net2)
+
+    def test_accepts_identical(self, small_network):
+        check_boolnet_vs_boolnet(small_network, small_network.copy())
+
+    def test_input_order_insensitive(self):
+        net1 = BooleanNetwork("a")
+        net1.add_input("x")
+        net1.add_input("y")
+        net1.add_node("f", parse_sop("x y'"))
+        net1.add_output("f")
+        net2 = BooleanNetwork("b")
+        net2.add_input("y")   # reversed declaration order
+        net2.add_input("x")
+        net2.add_node("f", parse_sop("x y'"))
+        net2.add_output("f")
+        check_boolnet_vs_boolnet(net1, net2)

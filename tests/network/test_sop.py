@@ -1,0 +1,145 @@
+"""Unit and property tests for SOP expressions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.cubes import lit, make_cube
+from repro.network.sop import Sop, parse_sop
+
+VARS = "abcd"
+
+
+def sop_strategy(max_cubes=4, max_width=3):
+    literal = st.tuples(st.sampled_from(VARS), st.booleans())
+    cube = st.frozensets(literal, max_size=max_width)
+    return st.lists(cube, max_size=max_cubes).map(Sop.from_cubes)
+
+
+def assignments():
+    return st.fixed_dictionaries({v: st.booleans() for v in VARS})
+
+
+class TestConstants:
+    def test_zero(self):
+        assert Sop.zero().is_zero()
+        assert not Sop.zero().is_one()
+
+    def test_one(self):
+        assert Sop.one().is_one()
+        assert not Sop.one().is_zero()
+
+    def test_zero_evaluates_false(self):
+        assert not Sop.zero().evaluate({})
+
+    def test_one_evaluates_true(self):
+        assert Sop.one().evaluate({})
+
+
+class TestParseRoundtrip:
+    @pytest.mark.parametrize("text", ["0", "1", "a", "a'", "a b + c'",
+                                      "a b c + a' b' c' + d"])
+    def test_roundtrip(self, text):
+        assert parse_sop(parse_sop(text).to_string()) == parse_sop(text)
+
+    def test_null_cube_dropped(self):
+        assert parse_sop("a a'") == Sop.zero()
+
+    def test_parse_whitespace(self):
+        assert parse_sop("  a   b  +  c ") == parse_sop("a b + c")
+
+
+class TestStructure:
+    def test_support(self):
+        assert parse_sop("a b' + c").support() == frozenset("abc")
+
+    def test_num_literals(self):
+        assert parse_sop("a b + c").num_literals() == 3
+
+    def test_literal_counts(self):
+        counts = parse_sop("a b + a c").literal_counts()
+        assert counts[lit("a")] == 2
+        assert counts[lit("b")] == 1
+
+    def test_cube_free_true(self):
+        assert parse_sop("a b + c").is_cube_free()
+
+    def test_cube_free_false_common_literal(self):
+        assert not parse_sop("a b + a c").is_cube_free()
+
+    def test_single_cube_not_cube_free(self):
+        assert not parse_sop("a b").is_cube_free()
+
+
+class TestAlgebra:
+    def test_add(self):
+        assert parse_sop("a").add(parse_sop("b")) == parse_sop("a + b")
+
+    def test_mul(self):
+        got = parse_sop("a + b").mul(parse_sop("c + d"))
+        assert got == parse_sop("a c + a d + b c + b d")
+
+    def test_mul_annihilates_conflicts(self):
+        got = parse_sop("a").mul(parse_sop("a'"))
+        assert got.is_zero()
+
+    def test_mul_cube(self):
+        got = parse_sop("a + b").mul_cube(make_cube([lit("c")]))
+        assert got == parse_sop("a c + b c")
+
+    def test_cofactor_positive(self):
+        got = parse_sop("a b + a' c").cofactor(lit("a", True))
+        assert got == parse_sop("b")
+
+    def test_cofactor_negative(self):
+        got = parse_sop("a b + a' c").cofactor(lit("a", False))
+        assert got == parse_sop("c")
+
+    def test_restrict(self):
+        got = parse_sop("a b + c").restrict({"a": True, "b": True})
+        assert got.is_one()
+
+    def test_remove_scc(self):
+        got = parse_sop("a + a b").remove_scc()
+        assert got == parse_sop("a")
+
+    def test_remove_scc_keeps_distinct(self):
+        f = parse_sop("a b + c d")
+        assert f.remove_scc() == f
+
+
+class TestEvaluate:
+    def test_simple(self):
+        f = parse_sop("a b + c'")
+        assert f.evaluate({"a": True, "b": True, "c": True})
+        assert not f.evaluate({"a": True, "b": False, "c": True})
+        assert f.evaluate({"a": False, "b": False, "c": False})
+
+
+class TestBuilders:
+    def test_and_of(self):
+        assert Sop.and_of(["a", "b"]) == parse_sop("a b")
+
+    def test_or_of(self):
+        assert Sop.or_of(["a", "b"]) == parse_sop("a + b")
+
+
+class TestProperties:
+    @given(sop_strategy(), sop_strategy(), assignments())
+    @settings(max_examples=60)
+    def test_add_is_or(self, f, g, env):
+        assert f.add(g).evaluate(env) == (f.evaluate(env) or g.evaluate(env))
+
+    @given(sop_strategy(), sop_strategy(), assignments())
+    @settings(max_examples=60)
+    def test_mul_is_and(self, f, g, env):
+        assert f.mul(g).evaluate(env) == (f.evaluate(env) and g.evaluate(env))
+
+    @given(sop_strategy(), assignments())
+    @settings(max_examples=60)
+    def test_remove_scc_preserves_function(self, f, env):
+        assert f.remove_scc().evaluate(env) == f.evaluate(env)
+
+    @given(sop_strategy())
+    @settings(max_examples=60)
+    def test_scc_never_grows(self, f):
+        assert len(f.remove_scc()) <= len(f)

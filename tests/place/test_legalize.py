@@ -1,0 +1,78 @@
+"""Tests for row legalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.place import Floorplan, check_legal, legalize_rows
+
+
+@pytest.fixture
+def fp():
+    return Floorplan(width=50.0, row_height=5.0, num_rows=6)
+
+
+class TestLegalizeRows:
+    def test_result_is_legal(self, fp):
+        rng = np.random.default_rng(1)
+        n = 40
+        positions = rng.uniform(0, 30, size=(n, 2))
+        widths = rng.uniform(1.0, 3.0, size=n)
+        legal = legalize_rows(positions, widths, fp)
+        check_legal(legal, widths, fp)
+
+    def test_cells_on_row_centers(self, fp):
+        positions = np.array([[10.0, 7.0], [20.0, 12.0]])
+        widths = [2.0, 2.0]
+        legal = legalize_rows(positions, widths, fp)
+        for y in legal[:, 1]:
+            assert any(abs(y - fp.row_y(r)) < 1e-9
+                       for r in range(fp.num_rows))
+
+    def test_overfull_die_rejected(self, fp):
+        n = 20
+        positions = np.zeros((n, 2))
+        widths = [20.0] * n  # 400 > 300 capacity
+        with pytest.raises(PlacementError, match="die too small"):
+            legalize_rows(positions, widths, fp)
+
+    def test_single_cell_near_target(self, fp):
+        positions = np.array([[25.0, 13.0]])
+        legal = legalize_rows(positions, [4.0], fp)
+        assert abs(legal[0, 1] - 13.0) <= fp.row_height
+        check_legal(legal, [4.0], fp)
+
+    def test_widths_length_mismatch(self, fp):
+        with pytest.raises(PlacementError):
+            legalize_rows(np.zeros((2, 2)), [1.0], fp)
+
+    @given(st.integers(min_value=1, max_value=60),
+           st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_always_legal(self, n, seed):
+        fp = Floorplan(width=60.0, row_height=5.0, num_rows=8)
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(-5, 70, size=(n, 2))
+        widths = rng.uniform(0.5, 4.0, size=n)
+        if widths.sum() > fp.width * fp.num_rows:
+            return
+        legal = legalize_rows(positions, widths, fp)
+        check_legal(legal, widths, fp)
+
+
+class TestCheckLegal:
+    def test_detects_overlap(self, fp):
+        positions = np.array([[5.0, 2.5], [6.0, 2.5]])
+        with pytest.raises(PlacementError, match="overlap"):
+            check_legal(positions, [4.0, 4.0], fp)
+
+    def test_detects_off_row(self, fp):
+        positions = np.array([[5.0, 3.3]])
+        with pytest.raises(PlacementError, match="not on a row"):
+            check_legal(positions, [2.0], fp)
+
+    def test_detects_outside_die(self, fp):
+        positions = np.array([[49.5, 2.5]])
+        with pytest.raises(PlacementError, match="outside"):
+            check_legal(positions, [4.0], fp)

@@ -1,0 +1,64 @@
+"""Tests for the analytical (quadratic) placement solver."""
+
+import numpy as np
+import pytest
+
+from repro.place import QpNet, solve_quadratic
+
+
+class TestTwoPin:
+    def test_single_cell_between_two_pads(self):
+        nets = [QpNet(movables=[0], fixed=[(0.0, 0.0)]),
+                QpNet(movables=[0], fixed=[(10.0, 10.0)])]
+        pos = solve_quadratic(1, nets)
+        assert pos[0, 0] == pytest.approx(5.0, abs=1e-3)
+        assert pos[0, 1] == pytest.approx(5.0, abs=1e-3)
+
+    def test_chain_spreads_evenly(self):
+        # pad(0) - c0 - c1 - c2 - pad(4): optimum is the even spacing.
+        nets = [QpNet(movables=[0], fixed=[(0.0, 0.0)]),
+                QpNet(movables=[0, 1]),
+                QpNet(movables=[1, 2]),
+                QpNet(movables=[2], fixed=[(4.0, 0.0)])]
+        pos = solve_quadratic(3, nets)
+        assert pos[:, 0] == pytest.approx([1.0, 2.0, 3.0], abs=1e-3)
+
+    def test_untouched_node_at_default(self):
+        nets = [QpNet(movables=[0], fixed=[(2.0, 2.0)]),
+                QpNet(movables=[0], fixed=[(2.0, 2.0)])]
+        pos = solve_quadratic(2, nets, default=(9.0, 9.0))
+        assert pos[1] == pytest.approx([9.0, 9.0])
+
+
+class TestStarNets:
+    def test_large_net_uses_star(self):
+        # A 10-pin net around a fixed centroid: all cells pulled there.
+        pads = [(float(k % 2) * 10.0, float(k // 2)) for k in range(4)]
+        nets = [QpNet(movables=list(range(10)), fixed=pads)]
+        pos = solve_quadratic(10, nets)
+        centroid = np.mean(pads, axis=0)
+        for row in pos:
+            assert row[0] == pytest.approx(centroid[0], abs=1.0)
+
+    def test_star_and_clique_agree_on_centroid(self):
+        fixed = [(0.0, 0.0), (10.0, 0.0)]
+        small = [QpNet(movables=[0], fixed=fixed)]
+        pos = solve_quadratic(1, small)
+        assert pos[0, 0] == pytest.approx(5.0, abs=1e-3)
+
+
+class TestEdgeCases:
+    def test_zero_cells(self):
+        assert solve_quadratic(0, []).shape == (0, 2)
+
+    def test_degenerate_single_pin_net_ignored(self):
+        nets = [QpNet(movables=[0])]
+        pos = solve_quadratic(1, nets, default=(3.0, 4.0))
+        assert pos[0] == pytest.approx([3.0, 4.0])
+
+    def test_deterministic(self):
+        nets = [QpNet(movables=[0, 1], fixed=[(0.0, 0.0)]),
+                QpNet(movables=[1], fixed=[(8.0, 2.0)])]
+        a = solve_quadratic(2, nets)
+        b = solve_quadratic(2, nets)
+        assert np.allclose(a, b)

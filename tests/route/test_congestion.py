@@ -1,0 +1,55 @@
+"""Tests for congestion statistics and rendering."""
+
+import pytest
+
+from repro.place import Floorplan
+from repro.route import (
+    GlobalRouter,
+    RoutingResources,
+    congestion_stats,
+    render_congestion_map,
+)
+
+
+@pytest.fixture
+def routed():
+    fp = Floorplan(width=104.0, row_height=5.2, num_rows=20)
+    router = GlobalRouter(fp, max_iterations=4)
+    nets = {f"n{k}": [(5.0, 5.0 + 4 * k), (95.0, 5.0 + 4 * k)]
+            for k in range(10)}
+    return router.route(nets)
+
+
+class TestStats:
+    def test_fields(self, routed):
+        stats = congestion_stats(routed)
+        assert stats.violations == routed.violations
+        assert 0.0 <= stats.mean_utilization
+        assert stats.peak_utilization >= stats.mean_utilization
+        assert 0.0 <= stats.congested_fraction <= 1.0
+
+    def test_acceptable_gate(self, routed):
+        stats = congestion_stats(routed)
+        assert stats.acceptable == (routed.violations == 0)
+
+    def test_overflowed_stats(self):
+        fp = Floorplan(width=104.0, row_height=5.2, num_rows=20)
+        router = GlobalRouter(
+            fp, RoutingResources(metal_layers=2, derate=0.2, m1_usable=0.0),
+            max_iterations=1)
+        nets = {f"n{k}": [(2.0, 50.0), (100.0, 50.0)] for k in range(50)}
+        stats = congestion_stats(router.route(nets))
+        assert not stats.acceptable
+        assert stats.max_edge_overflow > 0
+
+
+class TestRender:
+    def test_render_dimensions(self, routed):
+        text = render_congestion_map(routed.grid)
+        lines = text.splitlines()
+        assert len(lines) == routed.grid.ny + 1  # header + rows
+        assert all(len(line) == routed.grid.nx for line in lines[1:])
+
+    def test_render_header(self, routed):
+        text = render_congestion_map(routed.grid)
+        assert "congestion map" in text.splitlines()[0]

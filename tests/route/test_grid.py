@@ -1,0 +1,86 @@
+"""Tests for the routing grid and resource model."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.place import Floorplan
+from repro.route import HORIZONTAL, RoutingGrid, RoutingResources, VERTICAL
+
+
+@pytest.fixture
+def grid():
+    fp = Floorplan(width=52.0, row_height=5.2, num_rows=10)
+    return RoutingGrid(fp, RoutingResources(), gcell_rows=2)
+
+
+class TestResources:
+    def test_three_layer_shares(self):
+        h, v = RoutingResources(metal_layers=3).layer_shares()
+        assert h == pytest.approx(1.25)
+        assert v == pytest.approx(1.0)
+
+    def test_four_layer_shares(self):
+        h, v = RoutingResources(metal_layers=4).layer_shares()
+        assert v == pytest.approx(2.0)
+
+    def test_too_few_layers(self):
+        with pytest.raises(RoutingError):
+            RoutingResources(metal_layers=1)
+
+    def test_more_layers_more_capacity(self):
+        fp = Floorplan(width=52.0, row_height=5.2, num_rows=10)
+        g3 = RoutingGrid(fp, RoutingResources(metal_layers=3))
+        g5 = RoutingGrid(fp, RoutingResources(metal_layers=5))
+        assert g5.hcap > g3.hcap
+        assert g5.vcap > g3.vcap
+
+
+class TestGeometry:
+    def test_grid_dimensions(self, grid):
+        assert grid.nx >= 2 and grid.ny >= 2
+
+    def test_gcell_of_clamps(self, grid):
+        assert grid.gcell_of((-5.0, -5.0)) == (0, 0)
+        assert grid.gcell_of((1e9, 1e9)) == (grid.nx - 1, grid.ny - 1)
+
+    def test_center_roundtrip(self, grid):
+        for cell in [(0, 0), (1, 2), (grid.nx - 1, grid.ny - 1)]:
+            assert grid.gcell_of(grid.gcell_center(cell)) == cell
+
+    def test_edge_between(self, grid):
+        assert grid.edge_between((0, 0), (1, 0)) == (HORIZONTAL, 0, 0)
+        assert grid.edge_between((1, 1), (1, 0)) == (VERTICAL, 1, 0)
+
+    def test_edge_between_nonadjacent(self, grid):
+        with pytest.raises(RoutingError):
+            grid.edge_between((0, 0), (2, 0))
+
+
+class TestDemand:
+    def test_add_and_overflow(self, grid):
+        edge = (HORIZONTAL, 0, 0)
+        grid.add_demand([edge] * (grid.hcap + 3))
+        assert grid.overflow_total() == 3
+        assert grid.overflow_max() == 3
+        assert grid.overflowed_edges() == [edge]
+
+    def test_negative_adjustment(self, grid):
+        edge = (VERTICAL, 0, 0)
+        grid.add_demand([edge], amount=5)
+        grid.add_demand([edge], amount=-5)
+        assert grid.overflow_total() == 0
+        assert grid.demand[VERTICAL][0, 0] == 0
+
+    def test_congestion_fraction(self, grid):
+        edge = (HORIZONTAL, 1, 1)
+        grid.add_demand([edge], amount=grid.hcap)
+        assert grid.edge_congestion(*edge) == pytest.approx(1.0)
+
+    def test_reset(self, grid):
+        grid.add_demand([(HORIZONTAL, 0, 0)], amount=99)
+        grid.reset_demand()
+        assert grid.overflow_total() == 0
+
+    def test_utilization_map_shape(self, grid):
+        util = grid.utilization_map()
+        assert util.shape == (grid.nx, grid.ny)

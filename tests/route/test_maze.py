@@ -1,0 +1,93 @@
+"""Tests for L-shape and maze routing."""
+
+import pytest
+
+from repro.place import Floorplan
+from repro.route import HORIZONTAL, RoutingGrid, RoutingResources, VERTICAL
+from repro.route.maze import l_route_edges, maze_route
+
+
+@pytest.fixture
+def grid():
+    fp = Floorplan(width=104.0, row_height=5.2, num_rows=20)
+    return RoutingGrid(fp, RoutingResources(), gcell_rows=2)
+
+
+def route_is_connected(edges, source, target):
+    """Edges must form a walk from source to target."""
+    if source == target:
+        return edges == []
+    adjacency = {}
+    for direction, ex, ey in edges:
+        if direction == HORIZONTAL:
+            a, b = (ex, ey), (ex + 1, ey)
+        else:
+            a, b = (ex, ey), (ex, ey + 1)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    seen = {source}
+    frontier = [source]
+    while frontier:
+        cell = frontier.pop()
+        for nxt in adjacency.get(cell, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return target in seen
+
+
+class TestLRoute:
+    def test_horizontal_first(self):
+        edges = l_route_edges((0, 0), (2, 2), horizontal_first=True)
+        assert (HORIZONTAL, 0, 0) in edges
+        assert (VERTICAL, 2, 0) in edges
+        assert len(edges) == 4
+
+    def test_vertical_first(self):
+        edges = l_route_edges((0, 0), (2, 2), horizontal_first=False)
+        assert (VERTICAL, 0, 0) in edges
+        assert (HORIZONTAL, 0, 2) in edges
+
+    def test_straight_line(self):
+        edges = l_route_edges((0, 3), (4, 3))
+        assert len(edges) == 4
+        assert all(d == HORIZONTAL for d, _, _ in edges)
+
+    def test_same_cell(self):
+        assert l_route_edges((1, 1), (1, 1)) == []
+
+    def test_connectivity(self):
+        for target in [(3, 0), (0, 3), (3, 3), (1, 2)]:
+            edges = l_route_edges((0, 0), target)
+            assert route_is_connected(edges, (0, 0), target)
+
+
+class TestMazeRoute:
+    def test_shortest_when_uncongested(self, grid):
+        edges = maze_route(grid, (0, 0), (4, 3))
+        assert len(edges) == 7  # Manhattan distance
+
+    def test_connected(self, grid):
+        for target in [(5, 5), (0, 7), (8, 0)]:
+            edges = maze_route(grid, (1, 1), target)
+            assert route_is_connected(edges, (1, 1), target)
+
+    def test_same_cell(self, grid):
+        assert maze_route(grid, (2, 2), (2, 2)) == []
+
+    def test_detours_around_congestion(self, grid):
+        # Block the direct corridor between (0,0) and (4,0).
+        for x in range(4):
+            grid.demand[HORIZONTAL][x, 0] = grid.hcap + 50
+        edges = maze_route(grid, (0, 0), (4, 0))
+        assert route_is_connected(edges, (0, 0), (4, 0))
+        blocked = {(HORIZONTAL, x, 0) for x in range(4)}
+        assert not blocked.issubset(set(edges)), \
+            "route should detour off the saturated row"
+        assert len(edges) > 4  # the detour costs extra length
+
+    def test_history_discourages_reuse(self, grid):
+        grid.history[HORIZONTAL][:, 0] = 50.0
+        edges = maze_route(grid, (0, 0), (4, 0))
+        assert route_is_connected(edges, (0, 0), (4, 0))
+        assert not any(d == HORIZONTAL and ey == 0 for d, _, ey in edges)

@@ -1,0 +1,103 @@
+"""Tests for the global router."""
+
+import pytest
+
+from repro.place import Floorplan
+from repro.route import GlobalRouter, RoutingResources
+
+from .test_maze import route_is_connected
+
+
+@pytest.fixture
+def floorplan():
+    return Floorplan(width=104.0, row_height=5.2, num_rows=20)
+
+
+@pytest.fixture
+def router(floorplan):
+    return GlobalRouter(floorplan, max_iterations=8)
+
+
+class TestBasicRouting:
+    def test_single_two_pin_net(self, router, floorplan):
+        result = router.route({"n1": [(5.0, 5.0), (80.0, 80.0)]})
+        assert result.routable
+        assert result.total_wirelength > 0
+        assert result.net_wirelength("n1") > 0
+
+    def test_multi_pin_net_connected(self, router):
+        pins = [(5.0, 5.0), (90.0, 10.0), (50.0, 95.0), (10.0, 60.0)]
+        result = router.route({"n1": pins})
+        route = result.routes["n1"]
+        gcells = route.pins
+        for pin in gcells[1:]:
+            assert route_is_connected(route.edges, gcells[0], pin)
+
+    def test_net_within_one_gcell_is_free(self, router):
+        result = router.route({"n1": [(5.0, 5.0), (6.0, 6.0)]})
+        assert result.net_wirelength("n1") == 0.0
+        assert result.routable
+
+    def test_empty_netlist(self, router):
+        result = router.route({})
+        assert result.routable
+        assert result.total_wirelength == 0.0
+
+    def test_deterministic(self, router):
+        nets = {f"n{k}": [(5.0 * k, 5.0), (90.0, 5.0 * k + 3)]
+                for k in range(8)}
+        a = router.route(nets)
+        b = router.route(nets)
+        assert a.violations == b.violations
+        assert a.total_wirelength == pytest.approx(b.total_wirelength)
+
+
+class TestCongestionBehaviour:
+    def test_parallel_nets_overflow_small_capacity(self, floorplan):
+        # Saturate one corridor with many parallel nets: with a single
+        # metal pair the capacity is tiny and overflow must appear.
+        router = GlobalRouter(
+            floorplan,
+            RoutingResources(metal_layers=2, derate=0.2, m1_usable=0.0),
+            max_iterations=3)
+        nets = {f"n{k}": [(2.0, 50.0 + 0.01 * k), (100.0, 50.0 + 0.01 * k)]
+                for k in range(60)}
+        result = router.route(nets)
+        assert result.violations > 0
+        assert result.overflowed_nets > 0
+
+    def test_rerouting_reduces_overflow(self, floorplan):
+        nets = {f"n{k}": [(2.0, 50.0 + 0.01 * k), (100.0, 50.0 + 0.01 * k)]
+                for k in range(40)}
+        lazy = GlobalRouter(floorplan, max_iterations=0).route(nets)
+        eager = GlobalRouter(floorplan, max_iterations=8).route(nets)
+        assert eager.violations <= lazy.violations
+
+    def test_wirelength_grows_with_detours(self, floorplan):
+        nets = {f"n{k}": [(2.0, 50.0 + 0.01 * k), (100.0, 50.0 + 0.01 * k)]
+                for k in range(40)}
+        lazy = GlobalRouter(floorplan, max_iterations=0).route(nets)
+        eager = GlobalRouter(floorplan, max_iterations=8).route(nets)
+        if eager.violations < lazy.violations:
+            assert eager.total_wirelength >= lazy.total_wirelength
+
+
+class TestResultInvariants:
+    def test_demand_matches_routes(self, router):
+        nets = {f"n{k}": [(10.0 * k + 5, 8.0), (10.0 * k + 5, 95.0)]
+                for k in range(6)}
+        result = router.route(nets)
+        import numpy as np
+        total_edges = sum(len(r.edges) for r in result.routes.values())
+        demand_sum = int(result.grid.demand[0].sum()
+                         + result.grid.demand[1].sum())
+        assert total_edges == demand_sum
+
+    def test_overflowed_nets_counted(self, floorplan):
+        router = GlobalRouter(
+            floorplan,
+            RoutingResources(metal_layers=2, derate=0.2, m1_usable=0.0),
+            max_iterations=2)
+        nets = {f"n{k}": [(2.0, 50.0), (100.0, 50.0)] for k in range(50)}
+        result = router.route(nets)
+        assert 0 < result.overflowed_nets <= len(nets)

@@ -1,0 +1,95 @@
+"""Tests for net decomposition (MST)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.route import hpwl_of_points, manhattan, mst_segments
+
+
+class TestManhattan:
+    def test_basic(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+
+    def test_zero(self):
+        assert manhattan((2, 2), (2, 2)) == 0
+
+
+class TestMst:
+    def test_two_points(self):
+        segs = mst_segments([(0, 0), (3, 0)])
+        assert segs == [((0, 0), (3, 0))]
+
+    def test_degenerate(self):
+        assert mst_segments([]) == []
+        assert mst_segments([(1, 1)]) == []
+        assert mst_segments([(1, 1), (1, 1)]) == []
+
+    def test_collinear_chain(self):
+        points = [(0, 0), (10, 0), (5, 0)]
+        segs = mst_segments(points)
+        total = sum(manhattan(a, b) for a, b in segs)
+        assert total == 10  # chain, not star
+
+    def test_spanning(self):
+        points = [(0, 0), (4, 0), (0, 4), (4, 4), (2, 2)]
+        segs = mst_segments(points)
+        assert len(segs) == len(set(points)) - 1
+        # Connectivity: union-find over segments.
+        parent = {p: p for p in points}
+
+        def find(p):
+            while parent[p] != p:
+                parent[p] = parent[parent[p]]
+                p = parent[p]
+            return p
+
+        for a, b in segs:
+            parent[find(a)] = find(b)
+        roots = {find(p) for p in points}
+        assert len(roots) == 1
+
+    def test_mst_optimal_on_triangle(self):
+        segs = mst_segments([(0, 0), (1, 0), (10, 0)])
+        total = sum(manhattan(a, b) for a, b in segs)
+        assert total == 10
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                    min_size=2, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property_tree_and_connected(self, points):
+        unique = sorted(set(points))
+        segs = mst_segments(points)
+        assert len(segs) == max(0, len(unique) - 1)
+        if len(unique) < 2:
+            return
+        parent = {p: p for p in unique}
+
+        def find(p):
+            while parent[p] != p:
+                parent[p] = parent[parent[p]]
+                p = parent[p]
+            return p
+
+        for a, b in segs:
+            assert find(a) != find(b), "MST must not create cycles"
+            parent[find(a)] = find(b)
+        assert len({find(p) for p in unique}) == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                    min_size=2, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_property_mst_at_least_hpwl(self, points):
+        unique = sorted(set(points))
+        if len(unique) < 2:
+            return
+        segs = mst_segments(points)
+        total = sum(manhattan(a, b) for a, b in segs)
+        assert total >= hpwl_of_points(unique) / 2.0 - 1e-9
+
+
+class TestHpwl:
+    def test_bbox(self):
+        assert hpwl_of_points([(0, 0), (3, 4), (1, 1)]) == 7
+
+    def test_degenerate(self):
+        assert hpwl_of_points([(5, 5)]) == 0

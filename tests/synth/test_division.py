@@ -1,0 +1,94 @@
+"""Tests for algebraic (weak) division."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.cubes import lit, make_cube
+from repro.network.sop import Sop, parse_sop
+from repro.synth import divide, divide_by_cube, is_algebraic_divisor
+
+VARS = "abcd"
+
+
+def sop_strategy(max_cubes=4, max_width=3):
+    literal = st.tuples(st.sampled_from(VARS), st.booleans())
+    cube = st.frozensets(literal, min_size=1, max_size=max_width)
+    return st.lists(cube, min_size=1, max_size=max_cubes).map(Sop.from_cubes)
+
+
+class TestDivideByCube:
+    def test_basic(self):
+        q, r = divide_by_cube(parse_sop("a b c + a b d + e"),
+                              make_cube([lit("a"), lit("b")]))
+        assert q == parse_sop("c + d")
+        assert r == parse_sop("e")
+
+    def test_no_division(self):
+        q, r = divide_by_cube(parse_sop("a + b"), make_cube([lit("c")]))
+        assert q.is_zero()
+        assert r == parse_sop("a + b")
+
+    def test_divide_by_one_cube(self):
+        f = parse_sop("a + b")
+        q, r = divide_by_cube(f, frozenset())
+        assert q == f and r.is_zero()
+
+
+class TestDivide:
+    def test_textbook_example(self):
+        # (a + b)(c + d) + e  divided by (c + d)
+        f = parse_sop("a c + a d + b c + b d + e")
+        q, r = divide(f, parse_sop("c + d"))
+        assert q == parse_sop("a + b")
+        assert r == parse_sop("e")
+
+    def test_division_by_one(self):
+        f = parse_sop("a b + c")
+        q, r = divide(f, Sop.one())
+        assert q == f and r.is_zero()
+
+    def test_division_by_zero(self):
+        f = parse_sop("a b + c")
+        q, r = divide(f, Sop.zero())
+        assert q.is_zero() and r == f
+
+    def test_no_common_quotient(self):
+        q, r = divide(parse_sop("a c + b d"), parse_sop("c + d"))
+        assert q.is_zero()
+
+    def test_self_division(self):
+        f = parse_sop("a b + c")
+        q, r = divide(f, f)
+        assert q.is_one()
+        assert r.is_zero()
+
+    def test_is_algebraic_divisor(self):
+        f = parse_sop("a c + a d + e")
+        assert is_algebraic_divisor(f, parse_sop("c + d"))
+        assert not is_algebraic_divisor(f, parse_sop("b + d"))
+
+
+class TestDivisionIdentity:
+    """The defining property: f == q*d + r (as cube sets)."""
+
+    @given(sop_strategy(), sop_strategy(max_cubes=2, max_width=2))
+    @settings(max_examples=80, deadline=None)
+    def test_identity(self, f, d):
+        q, r = divide(f, d)
+        rebuilt = q.mul(d).add(r)
+        # Algebraic division reconstructs the exact cube set.
+        assert rebuilt.cubes >= f.cubes or rebuilt == f
+        # And never invents minterms: check functional equality.
+        env_vars = sorted(f.support() | d.support())
+        for bits in range(1 << min(len(env_vars), 6)):
+            env = {v: bool(bits >> i & 1) for i, v in enumerate(env_vars)}
+            for v in VARS:
+                env.setdefault(v, False)
+            assert rebuilt.evaluate(env) == f.evaluate(env)
+
+    @given(sop_strategy(), sop_strategy(max_cubes=2, max_width=2))
+    @settings(max_examples=80, deadline=None)
+    def test_quotient_support_disjoint_from_divisor(self, f, d):
+        q, _ = divide(f, d)
+        if not q.is_zero() and not d.is_zero():
+            assert not (q.support() & d.support()) or d.is_one()

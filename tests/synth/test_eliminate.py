@@ -1,0 +1,106 @@
+"""Tests for node elimination (SIS eliminate)."""
+
+import pytest
+
+from repro.circuits import random_pla
+from repro.network import BooleanNetwork, check_boolnet_vs_boolnet, parse_sop
+from repro.synth import eliminate, eliminate_node, extract, node_value
+
+
+def shared_network():
+    net = BooleanNetwork("t")
+    for v in "abcd":
+        net.add_input(v)
+    net.add_node("x", parse_sop("a b"))
+    net.add_node("f", parse_sop("x c"))
+    net.add_node("g", parse_sop("x d"))
+    net.add_output("f")
+    net.add_output("g")
+    return net
+
+
+class TestNodeValue:
+    def test_low_value_shared_cube(self):
+        net = shared_network()
+        # x kept: 2 (its lits) + 2 (uses); inlined: 2*2 = 4 -> value 0.
+        assert node_value(net, "x") == 0
+
+    def test_output_node_not_eliminable(self):
+        net = shared_network()
+        assert node_value(net, "f") is None
+
+    def test_complemented_use_not_eliminable(self):
+        net = BooleanNetwork("t")
+        for v in "ab":
+            net.add_input(v)
+        net.add_node("x", parse_sop("a b"))
+        net.add_node("f", parse_sop("x'"))
+        net.add_output("f")
+        assert node_value(net, "x") is None
+
+    def test_high_value_kernel_kept(self):
+        net = BooleanNetwork("t")
+        for v in "abcdef":
+            net.add_input(v)
+        net.add_node("x", parse_sop("a + b + c"))
+        net.add_node("f1", parse_sop("x d"))
+        net.add_node("g1", parse_sop("x e"))
+        net.add_node("h1", parse_sop("x f"))
+        for o in ("f1", "g1", "h1"):
+            net.add_output(o)
+        # Inlining replicates the rest-literal of each use across the
+        # node's 3 cubes: keeping saves 9 literals.
+        assert node_value(net, "x") > 0
+
+
+class TestEliminateNode:
+    def test_collapse_preserves_function(self):
+        net = shared_network()
+        ref = net.copy()
+        assert eliminate_node(net, "x")
+        check_boolnet_vs_boolnet(ref, net)
+        assert "x" not in net.nodes
+        assert net.nodes["f"].sop == parse_sop("a b c")
+
+    def test_refuses_output(self):
+        net = shared_network()
+        assert not eliminate_node(net, "f")
+
+    def test_refuses_complemented_use(self):
+        net = BooleanNetwork("t")
+        net.add_input("a")
+        net.add_node("x", parse_sop("a"))
+        net.add_node("f", parse_sop("x'"))
+        net.add_output("f")
+        assert not eliminate_node(net, "x")
+
+
+class TestEliminatePass:
+    def test_collapses_breakeven_nodes(self):
+        net = shared_network()
+        ref = net.copy()
+        collapsed = eliminate(net, threshold=0)
+        assert collapsed == 1
+        check_boolnet_vs_boolnet(ref, net)
+
+    def test_threshold_negative_keeps_breakeven(self):
+        net = shared_network()
+        assert eliminate(net, threshold=-1) == 0
+        assert "x" in net.nodes
+
+    def test_undoes_overeager_extraction(self):
+        pla = random_pla("e", 8, 4, 16, literals=(2, 4),
+                         outputs_per_product=(1, 2), seed=3)
+        net = pla.to_network()
+        ref = net.copy()
+        extract(net, min_value=0)      # maximum sharing
+        nodes_shared = len(net.nodes)
+        eliminate(net, threshold=0)
+        assert len(net.nodes) <= nodes_shared
+        check_boolnet_vs_boolnet(ref, net)
+
+    def test_literal_count_does_not_increase(self):
+        net = shared_network()
+        before = net.num_literals()
+        eliminate(net, threshold=0)
+        assert net.num_literals() <= before + 1  # x c + x d -> abc + abd

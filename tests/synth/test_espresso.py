@@ -1,0 +1,89 @@
+"""Tests for the two-level minimiser (espresso-lite)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.sop import Sop, parse_sop
+from repro.synth import irredundant, merge_cubes, minimize_sop
+from repro.synth.espresso import _is_tautology
+
+VARS = "abcd"
+
+
+def sop_strategy():
+    literal = st.tuples(st.sampled_from(VARS), st.booleans())
+    cube = st.frozensets(literal, max_size=3)
+    return st.lists(cube, max_size=5).map(Sop.from_cubes)
+
+
+def equivalent(f, g):
+    names = sorted(f.support() | g.support())
+    for bits in range(1 << len(names)):
+        env = {v: bool(bits >> i & 1) for i, v in enumerate(names)}
+        if f.evaluate(env) != g.evaluate(env):
+            return False
+    return True
+
+
+class TestMergeCubes:
+    def test_distance_one_merge(self):
+        got = merge_cubes(parse_sop("a b + a b'"))
+        assert got == parse_sop("a")
+
+    def test_cascading_merge(self):
+        got = merge_cubes(parse_sop("a b + a b' + a' b + a' b'"))
+        assert got.is_one() or got == parse_sop("a + a'") \
+            or equivalent(got, Sop.one())
+
+    def test_no_merge_when_distance_two(self):
+        f = parse_sop("a b + a' b'")
+        assert merge_cubes(f) == f
+
+    def test_different_sizes_not_merged(self):
+        f = parse_sop("a b + a")
+        assert merge_cubes(f) == parse_sop("a")  # via containment
+
+
+class TestTautology:
+    def test_one_is_tautology(self):
+        assert _is_tautology(Sop.one())
+
+    def test_zero_is_not(self):
+        assert not _is_tautology(Sop.zero())
+
+    def test_x_or_notx(self):
+        assert _is_tautology(parse_sop("a + a'"))
+
+    def test_incomplete_cover(self):
+        assert not _is_tautology(parse_sop("a + a' b"))
+
+
+class TestIrredundant:
+    def test_consensus_cube_removed(self):
+        # a b + a' c + b c: the b c cube is redundant (consensus).
+        got = irredundant(parse_sop("a b + a' c + b c"))
+        assert equivalent(got, parse_sop("a b + a' c"))
+        assert len(got) == 2
+
+    def test_keeps_needed_cubes(self):
+        f = parse_sop("a b + a' c")
+        assert irredundant(f) == f
+
+
+class TestMinimizeSop:
+    def test_combined(self):
+        f = parse_sop("a b + a b' + b c + a c")
+        got = minimize_sop(f)
+        assert equivalent(got, f)
+        assert got.num_literals() <= f.num_literals()
+
+    @given(sop_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_preserves_function(self, f):
+        got = minimize_sop(f)
+        assert equivalent(got, f)
+
+    @given(sop_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_never_grows(self, f):
+        assert minimize_sop(f).num_literals() <= f.num_literals()

@@ -1,0 +1,95 @@
+"""Tests for network-level kernel and cube extraction."""
+
+import pytest
+
+from repro.network import BooleanNetwork, check_boolnet_vs_boolnet, parse_sop
+from repro.synth import extract, extract_one_cube, extract_one_kernel
+
+
+def two_user_network():
+    net = BooleanNetwork("t")
+    for v in "abcdef":
+        net.add_input(v)
+    net.add_node("g1", parse_sop("a c + a d + b c + b d"))
+    net.add_node("g2", parse_sop("c e + d e + f"))
+    net.add_output("g1")
+    net.add_output("g2")
+    return net
+
+
+class TestKernelExtraction:
+    def test_shared_kernel_extracted(self):
+        net = two_user_network()
+        ref = net.copy()
+        name = extract_one_kernel(net)
+        assert name is not None
+        assert net.nodes[name].sop == parse_sop("c + d")
+        check_boolnet_vs_boolnet(ref, net)
+
+    def test_literal_count_drops(self):
+        net = two_user_network()
+        before = net.num_literals()
+        extract_one_kernel(net)
+        assert net.num_literals() < before
+
+    def test_no_kernel_returns_none(self):
+        net = BooleanNetwork("t")
+        for v in "ab":
+            net.add_input(v)
+        net.add_node("g", parse_sop("a b"))
+        net.add_output("g")
+        assert extract_one_kernel(net) is None
+
+    def test_min_value_zero_extracts_breakeven(self):
+        # A kernel used once with quotients of 2 cubes: value == 0.
+        net = BooleanNetwork("t")
+        for v in "abcd":
+            net.add_input(v)
+        net.add_node("g", parse_sop("a c + a d + b c + b d"))
+        net.add_output("g")
+        assert extract_one_kernel(net, min_value=1) is not None or \
+            extract_one_kernel(net, min_value=0) is not None
+
+
+class TestCubeExtraction:
+    def test_shared_cube_extracted(self):
+        net = BooleanNetwork("t")
+        for v in "abcde":
+            net.add_input(v)
+        net.add_node("g1", parse_sop("a b c + e"))
+        net.add_node("g2", parse_sop("a b d"))
+        net.add_node("g3", parse_sop("a b e"))
+        for o in ("g1", "g2", "g3"):
+            net.add_output(o)
+        ref = net.copy()
+        name = extract_one_cube(net)
+        assert name is not None
+        assert net.nodes[name].sop == parse_sop("a b")
+        check_boolnet_vs_boolnet(ref, net)
+
+    def test_no_cube_returns_none(self):
+        net = BooleanNetwork("t")
+        net.add_input("a")
+        net.add_node("g", parse_sop("a"))
+        net.add_output("g")
+        assert extract_one_cube(net) is None
+
+
+class TestExtractLoop:
+    def test_runs_to_fixed_point(self, medium_network):
+        net = medium_network
+        ref = net.copy()
+        before = net.num_literals()
+        created = extract(net, max_rounds=50)
+        assert net.num_literals() <= before
+        check_boolnet_vs_boolnet(ref, net)
+        # Re-running finds nothing new (fixed point) when not bounded.
+        if created < 50:
+            assert extract(net, max_rounds=5) == 0
+
+    def test_more_sharing_with_min_value_zero(self, medium_network):
+        strict = medium_network.copy()
+        loose = medium_network.copy()
+        extract(strict, min_value=1)
+        extract(loose, min_value=0)
+        assert len(loose.nodes) >= len(strict.nodes)

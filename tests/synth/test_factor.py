@@ -1,0 +1,97 @@
+"""Tests for algebraic factoring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.sop import Sop, parse_sop
+from repro.synth import Expr, factor, factored_literal_count
+
+VARS = "abcd"
+
+
+def sop_strategy():
+    literal = st.tuples(st.sampled_from(VARS), st.booleans())
+    cube = st.frozensets(literal, min_size=1, max_size=3)
+    return st.lists(cube, min_size=1, max_size=5).map(Sop.from_cubes)
+
+
+class TestExprTree:
+    def test_literal_count(self):
+        e = Expr.or_([Expr.and_([Expr.lit(("a", True)), Expr.lit(("b", True))]),
+                      Expr.lit(("c", False))])
+        assert e.num_literals() == 3
+
+    def test_flattening(self):
+        inner = Expr.and_([Expr.lit(("a", True)), Expr.lit(("b", True))])
+        outer = Expr.and_([inner, Expr.lit(("c", True))])
+        assert len(outer.children) == 3
+
+    def test_singleton_elided(self):
+        e = Expr.or_([Expr.lit(("a", True))])
+        assert e.kind == Expr.KIND_LIT
+
+    def test_to_string_parenthesises_or_in_and(self):
+        e = Expr.and_([Expr.lit(("a", True)),
+                       Expr.or_([Expr.lit(("b", True)),
+                                 Expr.lit(("c", True))])])
+        assert e.to_string() == "a (b + c)"
+
+
+class TestFactor:
+    def test_textbook(self):
+        f = parse_sop("a c + a d + b c + b d + e")
+        e = factor(f)
+        assert e.to_sop().remove_scc() == f.remove_scc()
+        assert e.num_literals() <= f.num_literals()
+        assert e.num_literals() == 5  # (a+b)(c+d) + e
+
+    def test_single_cube(self):
+        e = factor(parse_sop("a b' c"))
+        assert e.num_literals() == 3
+        assert e.to_sop() == parse_sop("a b' c")
+
+    def test_single_literal(self):
+        e = factor(parse_sop("a'"))
+        assert e.kind == Expr.KIND_LIT
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            factor(Sop.one())
+        with pytest.raises(ValueError):
+            factor(Sop.zero())
+
+    def test_no_savings_case(self):
+        f = parse_sop("a + b + c")
+        e = factor(f)
+        assert e.to_sop() == f
+        assert e.num_literals() == 3
+
+
+class TestFactoredLiteralCount:
+    def test_constant_is_zero(self):
+        assert factored_literal_count(Sop.one()) == 0
+
+    def test_never_exceeds_sop_count(self):
+        f = parse_sop("a b + a c + a d")
+        assert factored_literal_count(f) <= f.num_literals()
+
+
+class TestProperties:
+    @given(sop_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_factoring_preserves_function(self, f):
+        if f.is_zero() or f.is_one():
+            return
+        e = factor(f)
+        flattened = e.to_sop()
+        env_vars = sorted(f.support())
+        for bits in range(1 << min(len(env_vars), 6)):
+            env = {v: bool(bits >> i & 1) for i, v in enumerate(env_vars)}
+            assert flattened.evaluate(env) == f.evaluate(env)
+
+    @given(sop_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_factoring_never_increases_literals(self, f):
+        if f.is_zero() or f.is_one():
+            return
+        assert factor(f).num_literals() <= max(f.num_literals(), 1)

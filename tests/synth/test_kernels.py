@@ -1,0 +1,99 @@
+"""Tests for kernel/co-kernel enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.cubes import ONE_CUBE, cube_mul
+from repro.network.sop import Sop, parse_sop
+from repro.synth import divide, kernel_value, kernels, level0_kernels, make_cube_free
+from repro.synth.kernels import is_level0
+
+VARS = "abcde"
+
+
+def sop_strategy():
+    literal = st.tuples(st.sampled_from(VARS), st.booleans())
+    cube = st.frozensets(literal, min_size=1, max_size=3)
+    return st.lists(cube, min_size=1, max_size=5).map(Sop.from_cubes)
+
+
+class TestMakeCubeFree:
+    def test_strips_common_cube(self):
+        stripped, common = make_cube_free(parse_sop("a b c + a b d"))
+        assert stripped == parse_sop("c + d")
+        assert common == frozenset({("a", True), ("b", True)})
+
+    def test_already_cube_free(self):
+        f = parse_sop("a + b")
+        stripped, common = make_cube_free(f)
+        assert stripped == f
+        assert common == ONE_CUBE
+
+
+class TestKernels:
+    def test_textbook(self):
+        # f = a c + a d + b c + b d + e has kernels {c+d, a+b, f itself}
+        f = parse_sop("a c + a d + b c + b d + e")
+        found = {k.to_string() for k, _ in kernels(f)}
+        assert "c + d" in found
+        assert "a + b" in found
+        assert f.to_string() in found
+
+    def test_single_cube_has_no_kernels(self):
+        assert kernels(parse_sop("a b c")) == []
+
+    def test_cokernel_times_kernel_divides(self):
+        f = parse_sop("a c + a d + b c + b d + e")
+        for kernel, cokernel in kernels(f):
+            q, _ = divide(f, kernel)
+            assert not q.is_zero()
+            # The co-kernel must be one of the quotient's cubes.
+            assert cokernel in q.cubes or cokernel == ONE_CUBE
+
+    def test_max_kernels_bound(self):
+        f = parse_sop("a c + a d + b c + b d + e")
+        assert len(kernels(f, max_kernels=1)) == 1
+
+    def test_kernels_are_cube_free(self):
+        f = parse_sop("a b c + a b d + a e")
+        for kernel, _ in kernels(f):
+            assert kernel.is_cube_free() or len(kernel) >= 2
+
+
+class TestLevel0:
+    def test_is_level0(self):
+        assert is_level0(parse_sop("a + b"))
+        assert not is_level0(parse_sop("a c + a d"))
+
+    def test_level0_subset_of_kernels(self):
+        f = parse_sop("a c + a d + b c + b d + e")
+        all_k = {k.to_string() for k, _ in kernels(f)}
+        lvl0 = {k.to_string() for k, _ in level0_kernels(f)}
+        assert lvl0 <= all_k
+        assert "c + d" in lvl0
+
+
+class TestKernelValue:
+    def test_positive_for_shared_kernel(self):
+        kernel = parse_sop("a + b")  # 2 literals
+        assert kernel_value(kernel, uses=3) == 3 * 1 - 2
+
+    def test_zero_uses_is_negative(self):
+        assert kernel_value(parse_sop("a + b"), uses=0) < 0
+
+
+class TestProperties:
+    @given(sop_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_every_kernel_divides(self, f):
+        for kernel, _ in kernels(f, max_kernels=10):
+            if kernel == f:
+                continue
+            q, _ = divide(f, kernel)
+            assert not q.is_zero()
+
+    @given(sop_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_kernels_multicube(self, f):
+        for kernel, _ in kernels(f, max_kernels=10):
+            assert len(kernel) >= 2

@@ -1,0 +1,58 @@
+"""Tests for the optimization scripts."""
+
+import pytest
+
+from repro.circuits import random_pla
+from repro.network import check_boolnet_vs_boolnet
+from repro.synth import optimize
+
+
+@pytest.fixture
+def pla_network():
+    return random_pla("opt_test", num_inputs=10, num_outputs=6,
+                      num_products=40, literals=(3, 6),
+                      outputs_per_product=(1, 3), seed=5).to_network()
+
+
+class TestEfforts:
+    @pytest.mark.parametrize("effort", ["fast", "standard", "high"])
+    def test_preserves_function(self, pla_network, effort):
+        ref = pla_network.copy()
+        optimize(pla_network, effort=effort)
+        check_boolnet_vs_boolnet(ref, pla_network)
+
+    def test_unknown_effort_rejected(self, pla_network):
+        with pytest.raises(ValueError):
+            optimize(pla_network, effort="extreme")
+
+    def test_standard_reduces_literals(self, pla_network):
+        report = optimize(pla_network, effort="standard")
+        assert report.literals_after < report.literals_before
+
+    def test_high_not_worse_than_fast(self, pla_network):
+        fast_net = pla_network.copy()
+        high_net = pla_network.copy()
+        fast = optimize(fast_net, effort="fast")
+        high = optimize(high_net, effort="high")
+        assert high.literals_after <= fast.literals_after
+
+    def test_high_creates_more_sharing(self, pla_network):
+        std_net = pla_network.copy()
+        high_net = pla_network.copy()
+        optimize(std_net, effort="standard")
+        optimize(high_net, effort="high")
+        assert len(high_net.nodes) >= len(std_net.nodes)
+
+
+class TestReport:
+    def test_report_fields(self, pla_network):
+        report = optimize(pla_network, effort="standard")
+        assert report.literals_before >= report.literals_after
+        assert report.saved() == report.literals_before - report.literals_after
+        assert "extract" in report.passes
+        assert report.nodes_after == len(pla_network.nodes)
+
+    def test_idempotent_second_run_cheap(self, pla_network):
+        optimize(pla_network, effort="standard")
+        second = optimize(pla_network, effort="standard")
+        assert second.saved() <= 2  # essentially nothing left

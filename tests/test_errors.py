@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    LibraryError,
+    MappingError,
+    NetworkError,
+    ParseError,
+    PlacementError,
+    ReproError,
+    RoutingError,
+    SynthesisError,
+    TimingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        NetworkError, SynthesisError, LibraryError, MappingError,
+        PlacementError, RoutingError, TimingError, ParseError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(MappingError):
+            raise MappingError("specific")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_library_errors_are_repro_errors_in_practice(self):
+        from repro.library import CORELIB018
+        with pytest.raises(ReproError):
+            CORELIB018.cell("NOPE")

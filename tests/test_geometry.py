@@ -1,0 +1,55 @@
+"""Tests for the shared geometry module (and its core re-export)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import EUCLIDEAN, MANHATTAN, PositionMap, distance
+
+
+coords = st.tuples(st.floats(-100, 100, allow_nan=False),
+                   st.floats(-100, 100, allow_nan=False))
+
+
+class TestReExport:
+    def test_core_wirecost_is_geometry(self):
+        from repro.core import wirecost
+        assert wirecost.PositionMap is PositionMap
+        assert wirecost.distance is distance
+
+
+class TestDistanceProperties:
+    @given(coords, coords)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+    @given(coords)
+    def test_identity(self, a):
+        assert distance(a, a) == 0.0
+
+    @given(coords, coords, coords)
+    def test_triangle_inequality_manhattan(self, a, b, c):
+        assert distance(a, c, MANHATTAN) <= \
+            distance(a, b, MANHATTAN) + distance(b, c, MANHATTAN) + 1e-9
+
+    @given(coords, coords)
+    def test_euclidean_below_manhattan(self, a, b):
+        assert distance(a, b, EUCLIDEAN) <= distance(a, b, MANHATTAN) + 1e-9
+
+
+class TestPositionMapProperties:
+    @given(st.lists(coords, min_size=1, max_size=10))
+    def test_centroid_inside_bounding_box(self, points):
+        pm = PositionMap(points)
+        cx, cy = pm.centroid(range(len(points)))
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert min(xs) - 1e-9 <= cx <= max(xs) + 1e-9
+        assert min(ys) - 1e-9 <= cy <= max(ys) + 1e-9
+
+    @given(st.lists(coords, min_size=2, max_size=10))
+    def test_commit_makes_distances_zero(self, points):
+        pm = PositionMap(points)
+        com = pm.centroid(range(len(points)))
+        pm.commit(range(len(points)), com)
+        for i in range(len(points) - 1):
+            assert pm.dist_vertices(i, i + 1) == pytest.approx(0.0)

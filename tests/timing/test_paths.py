@@ -1,0 +1,60 @@
+"""Tests for path comparison reporting (Tables 3/5 machinery)."""
+
+import pytest
+
+from repro.library import CORELIB018
+from repro.network import MappedNetlist
+from repro.timing import StaticTimingAnalyzer, compare_against_reference
+
+
+def two_output_netlist(extra_depth=0):
+    nl = MappedNetlist("two")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_instance("INV_X1", {"A": "a"}, "n0", name="u0")
+    prev = "n0"
+    for i in range(extra_depth):
+        nl.add_instance("INV_X1", {"A": prev}, f"m{i}", name=f"d{i}")
+        prev = f"m{i}"
+    nl.add_instance("NAND2_X1", {"A": prev, "B": "b"}, "y1", name="u1")
+    nl.add_instance("INV_X1", {"A": "b"}, "y2", name="u2")
+    nl.add_output("y1")
+    nl.add_output("y2")
+    return nl
+
+
+class TestCompareAgainstReference:
+    def test_rows_cover_all_reports(self):
+        sta = StaticTimingAnalyzer(CORELIB018)
+        reports = {
+            "K=0": sta.analyze(two_output_netlist(extra_depth=3)),
+            "K=0.001": sta.analyze(two_output_netlist(extra_depth=1)),
+        }
+        rows = compare_against_reference(reports, "K=0")
+        assert [r.label for r in rows] == ["K=0", "K=0.001"]
+
+    def test_reference_row_self_consistent(self):
+        sta = StaticTimingAnalyzer(CORELIB018)
+        reports = {"ref": sta.analyze(two_output_netlist(2))}
+        row = compare_against_reference(reports, "ref")[0]
+        assert row.reference_end == row.critical_end
+        assert row.reference_arrival == pytest.approx(row.critical_arrival)
+
+    def test_faster_netlist_improves_reference_path(self):
+        sta = StaticTimingAnalyzer(CORELIB018)
+        slow = sta.analyze(two_output_netlist(extra_depth=5))
+        fast = sta.analyze(two_output_netlist(extra_depth=0))
+        rows = compare_against_reference({"slow": slow, "fast": fast},
+                                         "slow")
+        by_label = {r.label: r for r in rows}
+        # The slow netlist's critical endpoint (y1) is faster in 'fast'.
+        assert by_label["fast"].reference_arrival < \
+            by_label["slow"].reference_arrival
+
+    def test_row_formatting(self):
+        sta = StaticTimingAnalyzer(CORELIB018)
+        reports = {"ref": sta.analyze(two_output_netlist(1))}
+        label, own, ref = compare_against_reference(reports, "ref")[0].row()
+        assert label == "ref"
+        assert "(in)" in own and "(out)" in own
+        assert "(out)" in ref

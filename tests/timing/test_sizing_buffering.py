@@ -1,0 +1,132 @@
+"""Tests for timing-driven gate sizing and fanout buffering."""
+
+import pytest
+
+from repro.circuits import random_pla
+from repro.core import map_network, min_area
+from repro.errors import LibraryError
+from repro.library import CORELIB018, CellLibrary, LibCell, leaf, pinv, pnand
+from repro.network import MappedNetlist, check_base_vs_mapped, decompose
+from repro.timing import (
+    StaticTimingAnalyzer,
+    buffer_fanout,
+    drive_variants,
+    find_buffer,
+    size_gates,
+)
+
+
+def fanout_netlist(fanout=12):
+    """One inverter driving many sinks."""
+    nl = MappedNetlist("fan")
+    nl.add_input("a")
+    nl.add_instance("INV_X1", {"A": "a"}, "n", name="drv")
+    for k in range(fanout):
+        nl.add_instance("INV_X1", {"A": "n"}, f"y{k}", name=f"s{k}")
+        nl.add_output(f"y{k}")
+    return nl
+
+
+class TestDriveVariants:
+    def test_inverter_variants(self):
+        inv = CORELIB018.cell("INV_X1")
+        names = {c.name for c in drive_variants(CORELIB018, inv)}
+        assert names == {"INV_X2", "INV_X4"}
+
+    def test_function_must_match(self):
+        nand = CORELIB018.cell("NAND2_X1")
+        names = {c.name for c in drive_variants(CORELIB018, nand)}
+        assert "NOR2_X1" not in names
+        assert "NAND2_X2" in names
+
+
+class TestSizing:
+    def test_upsizes_loaded_driver(self):
+        nl = fanout_netlist(12)
+        # Long wire on the loaded net makes the weak driver critical.
+        lengths = {"n": 400.0}
+        report = size_gates(nl, CORELIB018, net_wirelength=lengths)
+        assert report.swaps >= 1
+        assert report.arrival_after < report.arrival_before
+        assert nl.instances["drv"].cell_name in ("INV_X2", "INV_X4")
+
+    def test_reports_area_penalty(self):
+        nl = fanout_netlist(12)
+        report = size_gates(nl, CORELIB018, net_wirelength={"n": 400.0})
+        if report.swaps:
+            assert report.area_after > report.area_before
+            assert report.area_penalty > 0
+
+    def test_no_swaps_when_unloaded(self):
+        nl = fanout_netlist(2)
+        report = size_gates(nl, CORELIB018)
+        assert report.arrival_after <= report.arrival_before + 1e-12
+
+    def test_function_preserved(self):
+        base = decompose(random_pla("sz", 6, 3, 10, literals=(2, 3),
+                                    outputs_per_product=(1, 2),
+                                    seed=4).to_network())
+        result = map_network(base, CORELIB018, min_area())
+        size_gates(result.netlist, CORELIB018,
+                   net_wirelength={n: 200.0
+                                   for n in result.netlist.nets()})
+        check_base_vs_mapped(base, result.netlist, CORELIB018)
+
+
+class TestFindBuffer:
+    def test_smallest_buffer(self):
+        assert find_buffer(CORELIB018).name == "BUF_X1"
+
+    def test_missing_buffer_raises(self):
+        inv = LibCell(name="INV", patterns=(pinv(leaf("A")),), area=1.0,
+                      intrinsic_delay=0.02, drive_resistance=5.0,
+                      pin_caps={"A": 0.002})
+        nand = LibCell(name="ND2", patterns=(pnand(leaf("A"), leaf("B")),),
+                       area=2.0, intrinsic_delay=0.03, drive_resistance=6.0,
+                       pin_caps={"A": 0.002, "B": 0.002})
+        tiny = CellLibrary("tiny", [inv, nand])
+        with pytest.raises(LibraryError, match="buffer"):
+            find_buffer(tiny)
+
+
+class TestBuffering:
+    def test_bounds_fanout(self):
+        nl = fanout_netlist(20)
+        report = buffer_fanout(nl, CORELIB018, max_fanout=4)
+        assert report.nets_buffered == 1
+        assert report.buffers_added >= 5
+        for net, sinks in nl.sink_map().items():
+            assert len(sinks) <= 4, f"net {net} still has {len(sinks)} sinks"
+
+    def test_small_fanout_untouched(self):
+        nl = fanout_netlist(3)
+        report = buffer_fanout(nl, CORELIB018, max_fanout=8)
+        assert report.buffers_added == 0
+        assert nl.num_cells() == 4
+
+    def test_function_preserved(self):
+        base = decompose(random_pla("bf", 8, 4, 20, literals=(2, 4),
+                                    outputs_per_product=(1, 3),
+                                    seed=6).to_network())
+        result = map_network(base, CORELIB018, min_area())
+        buffer_fanout(result.netlist, CORELIB018, max_fanout=3)
+        check_base_vs_mapped(base, result.netlist, CORELIB018)
+
+    def test_area_accounting(self):
+        nl = fanout_netlist(20)
+        before = nl.total_area(CORELIB018)
+        report = buffer_fanout(nl, CORELIB018, max_fanout=4)
+        assert nl.total_area(CORELIB018) == pytest.approx(
+            before + report.area_added)
+
+    def test_bad_max_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            buffer_fanout(fanout_netlist(4), CORELIB018, max_fanout=1)
+
+    def test_improves_timing_under_load(self):
+        heavy = fanout_netlist(24)
+        light = fanout_netlist(24)
+        buffer_fanout(light, CORELIB018, max_fanout=6)
+        sta = StaticTimingAnalyzer(CORELIB018)
+        assert sta.analyze(light).critical_arrival < \
+            sta.analyze(heavy).critical_arrival

@@ -1,0 +1,163 @@
+"""Tests for the static timing analyzer."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.library import CORELIB018
+from repro.network import MappedNetlist
+from repro.timing import (
+    DelayModel,
+    StaticTimingAnalyzer,
+    TimingReport,
+    WireModel,
+    arrival_at_output,
+)
+
+
+def chain_netlist(depth=3):
+    """a -> INV -> INV -> ... -> y."""
+    nl = MappedNetlist("chain")
+    nl.add_input("a")
+    prev = "a"
+    for i in range(depth):
+        net = f"n{i}" if i < depth - 1 else "y"
+        nl.add_instance("INV_X1", {"A": prev}, net, name=f"u{i}")
+        prev = net
+    nl.add_output("y")
+    return nl
+
+
+def diamond_netlist():
+    """Two paths of different depth converging on a NAND."""
+    nl = MappedNetlist("diamond")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_instance("INV_X1", {"A": "a"}, "n1", name="u1")
+    nl.add_instance("INV_X1", {"A": "n1"}, "n2", name="u2")
+    nl.add_instance("NAND2_X1", {"A": "n2", "B": "b"}, "y", name="u3")
+    nl.add_output("y")
+    return nl
+
+
+@pytest.fixture
+def sta():
+    return StaticTimingAnalyzer(CORELIB018)
+
+
+class TestArrivalPropagation:
+    def test_deeper_chain_is_slower(self, sta):
+        short = sta.analyze(chain_netlist(2))
+        long = sta.analyze(chain_netlist(6))
+        assert long.critical_arrival > short.critical_arrival
+
+    def test_arrival_monotone_along_path(self, sta):
+        report = sta.analyze(chain_netlist(4))
+        assert report.arrival["n0"] < report.arrival["n1"] \
+            < report.arrival["n2"] < report.arrival["y"]
+
+    def test_worst_input_dominates(self, sta):
+        report = sta.analyze(diamond_netlist())
+        # The two-inverter path through 'a' dominates the direct 'b'.
+        assert report.critical_path[0] == "a"
+
+    def test_wirelength_increases_delay(self, sta):
+        nl = chain_netlist(3)
+        fast = sta.analyze(nl)
+        slow = sta.analyze(nl, net_wirelength={"n0": 500.0, "n1": 500.0})
+        assert slow.critical_arrival > fast.critical_arrival
+
+    def test_no_outputs_rejected(self, sta):
+        nl = MappedNetlist("empty")
+        nl.add_input("a")
+        with pytest.raises(TimingError):
+            sta.analyze(nl)
+
+
+class TestCriticalPath:
+    def test_path_endpoints(self, sta):
+        report = sta.analyze(chain_netlist(3))
+        start, end = report.path_endpoints()
+        assert start == "a"
+        assert end == "y"
+
+    def test_path_contains_instances(self, sta):
+        report = sta.analyze(chain_netlist(3))
+        assert report.critical_path == ["a", "u0", "u1", "u2", "y"]
+
+    def test_describe_format(self, sta):
+        report = sta.analyze(chain_netlist(2))
+        text = report.describe_critical()
+        assert "a(in)" in text and "y(out)" in text
+
+    def test_output_arrival_lookup(self, sta):
+        report = sta.analyze(diamond_netlist())
+        assert arrival_at_output(report, "y") == report.critical_arrival
+        with pytest.raises(TimingError):
+            arrival_at_output(report, "nope")
+
+
+class TestLoadModel:
+    def test_bigger_load_slower(self, sta):
+        """A cell driving more sinks arrives later."""
+        light = MappedNetlist("light")
+        light.add_input("a")
+        light.add_instance("INV_X1", {"A": "a"}, "n", name="u0")
+        light.add_instance("INV_X1", {"A": "n"}, "y", name="u1")
+        light.add_output("y")
+        heavy = MappedNetlist("heavy")
+        heavy.add_input("a")
+        heavy.add_instance("INV_X1", {"A": "a"}, "n", name="u0")
+        heavy.add_instance("INV_X1", {"A": "n"}, "y", name="u1")
+        for k in range(6):
+            heavy.add_instance("INV_X2", {"A": "n"}, f"l{k}", name=f"x{k}")
+            heavy.add_output(f"l{k}")
+        heavy.add_output("y")
+        l_rep = sta.analyze(light)
+        h_rep = sta.analyze(heavy)
+        assert h_rep.output_arrival["y"] > l_rep.output_arrival["y"]
+
+    def test_stronger_driver_faster_under_load(self, sta):
+        def netlist(drive):
+            nl = MappedNetlist("d")
+            nl.add_input("a")
+            nl.add_instance(drive, {"A": "a"}, "n", name="u0")
+            for k in range(8):
+                nl.add_instance("INV_X1", {"A": "n"}, f"y{k}", name=f"s{k}")
+                nl.add_output(f"y{k}")
+            return nl
+
+        weak = sta.analyze(netlist("INV_X1"))
+        strong = sta.analyze(netlist("INV_X4"))
+        assert strong.output_arrival["y0"] < weak.output_arrival["y0"]
+
+
+class TestWireModel:
+    def test_elmore_monotone_in_length(self):
+        wm = WireModel()
+        assert wm.elmore_delay(200.0, 0.01) > wm.elmore_delay(100.0, 0.01)
+
+    def test_elmore_monotone_in_cap(self):
+        wm = WireModel()
+        assert wm.elmore_delay(100.0, 0.02) > wm.elmore_delay(100.0, 0.01)
+
+    def test_wire_cap_dominates_gate_cap_in_dsm(self):
+        """The paper's premise: a few hundred µm of wire out-weighs a pin."""
+        wm = WireModel()
+        pin_cap = CORELIB018.cell("NAND2_X1").input_cap("A")
+        assert wm.wire_cap(100.0) > pin_cap
+
+    def test_load_on_driver(self):
+        wm = WireModel()
+        assert wm.load_on_driver(100.0, 0.005) == pytest.approx(
+            wm.wire_cap(100.0) + 0.005)
+
+
+class TestDelayModel:
+    def test_input_delay_scales_with_load(self):
+        dm = DelayModel()
+        assert dm.input_delay(0.02) > dm.input_delay(0.01)
+
+    def test_cell_delay_delegates(self):
+        dm = DelayModel()
+        cell = CORELIB018.cell("INV_X1")
+        assert dm.cell_delay(cell, 0.01) == pytest.approx(cell.delay(0.01))
