@@ -20,13 +20,23 @@ import pytest
 
 from conftest import publish
 from repro.circuits import spla_like
-from repro.core import area_congestion, evaluate_netlist, map_network
+from repro.core import (
+    area_congestion,
+    evaluate_netlist,
+    k_sweep,
+    map_network,
+    run_k_point,
+)
+from repro.exec import default_workers
 from repro.io import format_table
 from repro.library import CORELIB018
 from repro.network import decompose
 from repro.place import Floorplan, place_base_network
 
 SCALES = [0.03, 0.06, 0.125]
+
+#: K schedule for the execution-layer bench (a prefix of the paper's).
+SWEEP_K = [0.0, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.5]
 
 _cache = {}
 
@@ -84,3 +94,81 @@ def test_scaling(benchmark, config):
         f"mapping time grew x{time_ratio:.1f} for x{gate_ratio:.1f} gates"
     # Output size tracks input size.
     assert large["cells"] > small["cells"] * (gate_ratio / 2)
+
+
+def _sweep_setup(config):
+    base = decompose(spla_like(0.06))
+    floorplan = Floorplan.for_area(base.num_gates() * 12.0 / 0.35,
+                                   aspect=1.0)
+    positions = place_base_network(base, floorplan, seed=config.seed)
+    return base, floorplan, positions
+
+
+def run_sweep_modes(config):
+    """Time the K sweep cold, hoisted-serial and parallel."""
+    base, floorplan, positions = _sweep_setup(config)
+
+    # Cold: one independent mapping per K — no shared partition, no
+    # match memo (what every K point cost before the execution layer).
+    t0 = time.perf_counter()
+    cold = [run_k_point(base, positions, floorplan, config, k)
+            for k in SWEEP_K]
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = k_sweep(base, floorplan, config, k_values=SWEEP_K,
+                     positions=positions, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = k_sweep(base, floorplan, config, k_values=SWEEP_K,
+                       positions=positions, workers=4)
+    t_parallel = time.perf_counter() - t0
+
+    return {
+        "t_cold": t_cold, "t_serial": t_serial, "t_parallel": t_parallel,
+        "cold_rows": [p.row() for p in cold],
+        "serial_rows": [p.row() for p in serial],
+        "parallel_rows": [p.row() for p in parallel],
+        "cache_hits": sum(p.stats["match_cache_hits"] for p in serial),
+        "cache_misses": sum(p.stats["match_cache_misses"] for p in serial),
+    }
+
+
+def test_sweep_execution_layer(benchmark, config):
+    """Wall-time of the K sweep across execution modes.
+
+    Parallel results must be bit-identical to serial; the >= 2x speedup
+    acceptance check for workers=4 only makes sense on a multi-core
+    host, so it is gated on the CPUs actually available (this keeps the
+    bench meaningful inside 1-CPU containers, where a process pool can
+    only add overhead).
+    """
+    r = benchmark.pedantic(run_sweep_modes, args=(config,),
+                           rounds=1, iterations=1)
+    cpus = default_workers()
+    table = format_table(
+        ["mode", "workers", "wall (s)", "vs cold"],
+        [("cold (per-K rebuild)", 1, f"{r['t_cold']:.2f}", "1.00x"),
+         ("hoisted serial", 1, f"{r['t_serial']:.2f}",
+          f"{r['t_cold'] / max(r['t_serial'], 1e-9):.2f}x"),
+         ("process pool", 4, f"{r['t_parallel']:.2f}",
+          f"{r['t_cold'] / max(r['t_parallel'], 1e-9):.2f}x")],
+        title=f"K-sweep execution layer ({len(SWEEP_K)} K points, "
+              f"{cpus} CPU(s) available; match cache "
+              f"{r['cache_hits']:.0f} hits / {r['cache_misses']:.0f} misses)")
+    publish("sweep_execution", table)
+
+    # Bit-identical across all execution modes.
+    assert r["serial_rows"] == r["cold_rows"]
+    assert r["parallel_rows"] == r["serial_rows"]
+    # Hoisting partition + match enumeration out of the per-K loop must
+    # pay for itself: all Ks after the first hit the match memo.
+    assert r["cache_hits"] > 0
+    assert r["t_serial"] <= r["t_cold"] * 1.10
+    if cpus >= 2:
+        # The acceptance criterion proper: 4 workers at least halve the
+        # sweep wall-time relative to one.
+        assert r["t_parallel"] * 2.0 <= r["t_serial"], \
+            (f"workers=4 took {r['t_parallel']:.2f}s vs serial "
+             f"{r['t_serial']:.2f}s on a {cpus}-CPU host")

@@ -94,7 +94,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _cmd_flow(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018)
+    config = FlowConfig(library=CORELIB018, workers=args.workers)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     result = congestion_aware_flow(base, floorplan, config,
@@ -112,7 +112,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 def _cmd_ksweep(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018)
+    config = FlowConfig(library=CORELIB018, workers=args.workers)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     k_values = [float(k) for k in args.k.split(",")] if args.k \
@@ -183,6 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("source")
     p_flow.add_argument("--rows", type=int, default=0)
     p_flow.add_argument("--tolerance", type=int, default=0)
+    p_flow.add_argument("--workers", type=int, default=1,
+                        help="process fan-out for parallel stages "
+                             "(results are identical to --workers 1)")
     p_flow.set_defaults(func=_cmd_flow)
 
     p_sweep = sub.add_parser("ksweep", help="Table 2/4-style K sweep")
@@ -190,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--rows", type=int, default=0)
     p_sweep.add_argument("--k", default="",
                          help="comma-separated K list (default: paper's)")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="map K points over N processes "
+                              "(results are identical to --workers 1)")
     p_sweep.set_defaults(func=_cmd_ksweep)
 
     p_sta = sub.add_parser("sta", help="map + place + route + timing report")

@@ -10,8 +10,15 @@ Keutzer's optimal tree covering, extended per the paper:
     (Eq. 1),
   - ``WIRE1(m, v)`` = summed distance from the match's center of mass
     to the centers of mass of its fanins' chosen matches (Eq. 2),
-  - ``WIRE2(m, v)`` = the stored one-level wire cost of those fanins
-    (Eq. 3), and ``WIRE = WIRE1 + WIRE2`` (Eq. 4),
+  - ``WIRE2(m, v)`` = the sum of the fanins' **stored** wire costs
+    (Eq. 3) — each fanin contributes the full ``WIRE`` of its own
+    chosen solution, so deep trees accumulate their wire all the way
+    down to this tree's leaves — and ``WIRE = WIRE1 + WIRE2`` (Eq. 4).
+    (Shared leaves contribute zero: their wire is charged to the tree
+    that materializes them.)  The Pedram–Bhat ``transitive_wire``
+    variant additionally carries wire *across* tree boundaries, down to
+    the primary inputs, via the committed figures in
+    :class:`BoundaryInfo`,
 
 * the center of mass of the selected match is stored per vertex so
   parents retrieve it in O(1) — the incremental companion-placement
@@ -19,6 +26,10 @@ Keutzer's optimal tree covering, extended per the paper:
 * leaves that refer to *materialized* signals (tree boundaries or
   absorbed multi-fanout vertices) cost nothing in area — their logic is
   paid for by their own tree — and sit at their committed positions.
+  A NEG reference to a materialized signal costs one inverter the
+  *first* time any tree needs that complement; the netlist builder
+  shares a single inverter per net, and :class:`BoundaryInfo` tells the
+  DP which complements already exist so it does not charge them again.
 
 An arrival-time estimate rides along for the delay objective.
 """
@@ -44,7 +55,8 @@ class Solution:
     cost: float
     area: float
     wire1: float            # Eq. 2 of the chosen match (one level)
-    wire_transitive: float  # accumulated wire down to the leaves
+    wire: float             # Eq. 4: wire1 + fanins' stored wire
+    wire_transitive: float  # accumulated across tree boundaries to PIs
     arrival: float
     com: Point              # center of mass of the chosen match
     match: Optional[Match]  # None for an inverter phase-conversion
@@ -69,9 +81,13 @@ class BoundaryInfo:
     """What the DP knows about signals materialized outside this tree."""
 
     def __init__(self, positions: PositionMap,
-                 arrivals: Optional[Dict[int, float]] = None):  # noqa: D107
+                 arrivals: Optional[Dict[int, float]] = None,
+                 wires: Optional[Dict[int, float]] = None,
+                 complemented: Optional[Set[int]] = None):  # noqa: D107
         self.positions = positions
         self.arrivals = arrivals or {}
+        self.wires = wires if wires is not None else {}
+        self.complemented = complemented if complemented is not None else set()
 
     def position(self, vertex: int) -> Point:
         """Committed position of a materialized signal."""
@@ -80,6 +96,18 @@ class BoundaryInfo:
     def arrival(self, vertex: int) -> float:
         """Committed arrival time of a materialized signal (ns)."""
         return self.arrivals.get(vertex, 0.0)
+
+    def wire(self, vertex: int) -> float:
+        """Committed transitive wire cost of a materialized signal (µm)."""
+        return self.wires.get(vertex, 0.0)
+
+    def has_complement(self, vertex: int) -> bool:
+        """Whether the complement net of a signal already exists.
+
+        The netlist builder shares one inverter per materialized net;
+        once some tree has paid for it, later NEG references are free.
+        """
+        return vertex in self.complemented
 
 
 def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,
@@ -112,17 +140,24 @@ def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,
         if is_shared(vertex):
             pos = boundary.position(vertex)
             arrival = boundary.arrival(vertex)
+            # Paper-mode wire restarts at tree boundaries (the signal's
+            # wire is charged to its own tree); the transitive variant
+            # carries the committed figure across.
+            wire_t = boundary.wire(vertex)
             if phase == POS:
-                return Solution(cost=0.0, area=0.0, wire1=0.0,
-                                wire_transitive=0.0, arrival=arrival,
+                return Solution(cost=0.0, area=0.0, wire1=0.0, wire=0.0,
+                                wire_transitive=wire_t, arrival=arrival,
                                 com=pos, match=None)
             # A shared inverter realises the complement at the signal's
-            # location; the netlist builder dedupes these per net.
+            # location; the netlist builder dedupes these per net, so
+            # its area is charged only while the net does not exist yet.
+            inv_area = 0.0 if boundary.has_complement(vertex) else inv.area
+            arrival_neg = arrival + inv.delay(objective.load_estimate)
             return Solution(
-                cost=objective.cost(inv.area, 0.0,
-                                    arrival + inv.delay(objective.load_estimate)),
-                area=inv.area, wire1=0.0, wire_transitive=0.0,
-                arrival=arrival + inv.delay(objective.load_estimate),
+                cost=objective.cost(inv_area, 0.0, arrival_neg),
+                area=inv_area, wire1=0.0, wire=0.0,
+                wire_transitive=wire_t,
+                arrival=arrival_neg,
                 com=pos, match=None, inv_source_phase=POS)
         sol = solutions.get((vertex, phase))
         if sol is None:
@@ -130,10 +165,11 @@ def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,
                 f"no solution for internal vertex {vertex} phase {phase}")
         return sol
 
+    frozen = tree.frozen_members()
     order = [v for v in sorted(members)]
     for v in order:
         cand: Dict[bool, Optional[Solution]] = {POS: None, NEG: None}
-        matches = matcher.matches_at(v, consumable)
+        matches = matcher.matches_in_tree(v, frozen)
         for phase in (POS, NEG):
             for match in matches[phase]:
                 sol = _evaluate(match, v, objective, positions,
@@ -156,6 +192,7 @@ def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,
                                     arrival),
                 area=source.area + inv.area,
                 wire1=source.wire1,
+                wire=source.wire,
                 wire_transitive=source.wire_transitive,
                 arrival=arrival,
                 com=source.com,
@@ -176,7 +213,7 @@ def _wire_for_mode(sol: Solution, objective: CoverObjective) -> float:
     """The wire figure the objective scores (paper vs transitive)."""
     if objective.transitive_wire:
         return sol.wire_transitive
-    return sol.wire1
+    return sol.wire
 
 
 def _evaluate(match: Match, vertex: int, objective: CoverObjective,
@@ -190,14 +227,18 @@ def _evaluate(match: Match, vertex: int, objective: CoverObjective,
     area = match.cell.area + sum(s.area for s in leaf_sols)
     com = positions.centroid(match.consumed)
     wire1 = sum(positions.dist(com, s.com) for s in leaf_sols)
-    wire2 = sum(s.wire1 for s in leaf_sols)
+    # Eq. 3: WIRE2 is the fanins' *stored* wire cost — the full WIRE of
+    # each fanin's chosen solution, not just its one-level WIRE1 — so
+    # wire accumulates through deep trees instead of being forgotten
+    # two levels down.
+    wire2 = sum(s.wire for s in leaf_sols)
+    wire = wire1 + wire2
     wire_transitive = wire1 + sum(s.wire_transitive for s in leaf_sols)
-    wire_paper = wire1 + wire2
     arrival = (max((s.arrival for s in leaf_sols), default=0.0)
                + match.cell.delay(load if load is not None
                                   else objective.load_estimate))
-    wire_scored = wire_transitive if objective.transitive_wire else wire_paper
+    wire_scored = wire_transitive if objective.transitive_wire else wire
     cost = objective.cost(area, wire_scored, arrival)
-    return Solution(cost=cost, area=area, wire1=wire1,
+    return Solution(cost=cost, area=area, wire1=wire1, wire=wire,
                     wire_transitive=wire_transitive, arrival=arrival,
                     com=com, match=match)

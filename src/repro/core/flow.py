@@ -18,10 +18,12 @@ This module glues the substrates into the experiments the paper runs:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PlacementError, ReproError
+from ..exec import derive_seed, fan_out
 from ..library.cell import CellLibrary
 from ..network.boolnet import BooleanNetwork
 from ..network.dag import BaseNetwork
@@ -34,8 +36,9 @@ from ..route.router import GlobalRouter, RoutingResult
 from ..synth.optimize import optimize
 from ..timing.sta import StaticTimingAnalyzer, TimingReport
 from .mapper import MappingResult, map_network
+from .matching import Matcher
 from .objectives import area_congestion, min_area
-from .partition import DAGON, PLACEMENT
+from .partition import DAGON, PLACEMENT, Partition, partition as make_partition
 from .wirecost import PositionMap
 
 #: The K schedule of the paper's Tables 2 and 4.
@@ -46,7 +49,12 @@ PAPER_K_VALUES: Tuple[float, ...] = (
 
 @dataclass
 class FlowConfig:
-    """Shared configuration for all flow entry points."""
+    """Shared configuration for all flow entry points.
+
+    ``workers`` is the default process fan-out for the parallel stages
+    (K points of a sweep, placement attempts of an evaluation); 1 keeps
+    everything serial.  Parallel runs are bit-identical to serial ones.
+    """
 
     library: CellLibrary
     resources: RoutingResources = field(default_factory=RoutingResources)
@@ -56,6 +64,7 @@ class FlowConfig:
     use_seed_positions: bool = False
     seed: int = 0
     place_attempts: int = 1
+    workers: int = 1
 
 
 @dataclass
@@ -74,6 +83,7 @@ class EvalPoint:
     mapping: Optional[MappingResult] = None
     placement: Optional[Placement] = None
     routing: Optional[RoutingResult] = None
+    stats: Dict[str, float] = field(default_factory=dict)
 
     def row(self) -> Tuple[float, float, int, float, int]:
         """(K, cell area, #cells, utilization %, violations)."""
@@ -81,40 +91,51 @@ class EvalPoint:
                 self.utilization, self.violations)
 
 
-def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
-                     config: FlowConfig,
-                     seed_positions: Optional[Dict[str, Tuple[float, float]]]
-                     = None, k: float = 0.0) -> EvalPoint:
-    """Place + globally route one netlist; summarise like a table row.
+def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
+    """One placement + global-routing attempt (a fan-out task).
 
-    Up to ``config.place_attempts`` placement seeds are tried and the
-    best result kept (stopping early at zero violations) — the "let the
-    P&R tool try again" that any physical-design flow applies before
-    declaring a netlist unroutable.
+    Placement *and* routing seeds advance with the attempt index, so
+    retries explore both RNG streams instead of re-rolling only the
+    placer against a frozen router.
     """
-    area = netlist.total_area(config.library)
+    netlist, floorplan, config, seed_positions, k, area = payload
+    seed = derive_seed(config.seed, attempt)
+    t0 = time.perf_counter()
+    placement = place_netlist(
+        netlist, config.library, floorplan,
+        seed_positions=(seed_positions if config.use_seed_positions
+                        else None),
+        seed=seed)
+    t_place = time.perf_counter() - t0
+    router = GlobalRouter(floorplan, config.resources,
+                          gcell_rows=config.gcell_rows,
+                          max_iterations=config.max_route_iterations,
+                          seed=seed)
+    t0 = time.perf_counter()
+    routing = router.route(placement.net_points(netlist))
+    t_route = time.perf_counter() - t0
+    return EvalPoint(
+        k=k, cell_area=area, num_cells=netlist.num_cells(),
+        utilization=floorplan.utilization(area),
+        violations=routing.violations,
+        overflowed_nets=routing.overflowed_nets,
+        routed_wirelength=routing.total_wirelength,
+        hpwl=placement.hpwl(netlist),
+        routable=routing.violations == 0,
+        placement=placement, routing=routing,
+        stats={"t_place": t_place, "t_route": t_route})
+
+
+def _select_best(points: Sequence[EvalPoint]) -> EvalPoint:
+    """Replicate the serial retry loop's pick over precomputed attempts.
+
+    The serial loop keeps the strictly best (violations, wirelength)
+    seen so far and stops at the first zero-violation best; scanning
+    the full attempt list in order with the same rule selects the same
+    point, which is what keeps ``workers=N`` bit-identical.
+    """
     best: Optional[EvalPoint] = None
-    attempts = max(1, config.place_attempts)
-    for attempt in range(attempts):
-        placement = place_netlist(
-            netlist, config.library, floorplan,
-            seed_positions=(seed_positions if config.use_seed_positions
-                            else None),
-            seed=config.seed + attempt)
-        router = GlobalRouter(floorplan, config.resources,
-                              gcell_rows=config.gcell_rows,
-                              max_iterations=config.max_route_iterations,
-                              seed=config.seed)
-        routing = router.route(placement.net_points(netlist))
-        point = EvalPoint(
-            k=k, cell_area=area, num_cells=netlist.num_cells(),
-            utilization=floorplan.utilization(area),
-            violations=routing.violations,
-            overflowed_nets=routing.overflowed_nets,
-            routed_wirelength=routing.total_wirelength,
-            hpwl=placement.hpwl(netlist),
-            routable=routing.violations == 0,
-            placement=placement, routing=routing)
+    for point in points:
         if best is None or (point.violations, point.routed_wirelength) < \
                 (best.violations, best.routed_wirelength):
             best = point
@@ -124,41 +145,135 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
     return best
 
 
+def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
+                     config: FlowConfig,
+                     seed_positions: Optional[Dict[str, Tuple[float, float]]]
+                     = None, k: float = 0.0,
+                     workers: Optional[int] = None) -> EvalPoint:
+    """Place + globally route one netlist; summarise like a table row.
+
+    Up to ``config.place_attempts`` placement seeds are tried and the
+    best result kept (stopping early at zero violations) — the "let the
+    P&R tool try again" that any physical-design flow applies before
+    declaring a netlist unroutable.  With ``workers > 1`` (defaulting
+    to ``config.workers``) the attempts fan out over a process pool;
+    the selected point is identical to the serial path's.
+    """
+    t_start = time.perf_counter()
+    area = netlist.total_area(config.library)
+    attempts = max(1, config.place_attempts)
+    nworkers = max(1, config.workers if workers is None else workers)
+    payload = (netlist, floorplan, config, seed_positions, k, area)
+    if attempts > 1 and nworkers > 1:
+        exec_stats: Dict[str, float] = {}
+        points = fan_out(_placement_attempt, payload, range(attempts),
+                         workers=nworkers, stats=exec_stats)
+        best = _select_best(points)
+        best.stats.update(exec_stats)
+    else:
+        best = None
+        for attempt in range(attempts):
+            point = _placement_attempt(payload, attempt)
+            if best is None or \
+                    (point.violations, point.routed_wirelength) < \
+                    (best.violations, best.routed_wirelength):
+                best = point
+            if best.violations == 0:
+                break
+        assert best is not None
+    best.stats["t_eval"] = time.perf_counter() - t_start
+    return best
+
+
 def run_k_point(base: BaseNetwork, positions: PositionMap,
                 floorplan: Floorplan, config: FlowConfig,
-                k: float) -> EvalPoint:
-    """Map the (already placed) base network at one K and evaluate it."""
+                k: float, partition: Optional[Partition] = None,
+                matcher: Optional[Matcher] = None) -> EvalPoint:
+    """Map the (already placed) base network at one K and evaluate it.
+
+    ``partition`` and ``matcher`` are the K-independent products of the
+    base network and its placement; sweeps compute them once and pass
+    them to every K point (see :func:`k_sweep`).
+    """
     objective = area_congestion(k)
+    t0 = time.perf_counter()
     mapping = map_network(base, config.library, objective,
                           partition_style=config.partition_style,
-                          positions=positions)
+                          positions=positions,
+                          partition=partition, matcher=matcher)
+    t_map = time.perf_counter() - t0
     point = evaluate_netlist(mapping.netlist, floorplan, config,
                              seed_positions=mapping.instance_positions, k=k)
     point.mapping = mapping
+    point.stats["t_map"] = t_map
+    for key in ("t_partition", "t_cover", "t_build",
+                "match_cache_hits", "match_cache_misses"):
+        point.stats[key] = mapping.stats[key]
     return point
+
+
+#: Single-slot per-process cache: (payload, Matcher).  Workers receive
+#: the same payload object for every task of one sweep, so the matcher
+#: — and its match memo — is shared across all K points a process runs.
+_sweep_matcher: Optional[Tuple[Any, Matcher]] = None
+
+
+def _k_point_task(payload: Tuple[Any, ...], k: float) -> EvalPoint:
+    """One K point of a sweep (a fan-out task)."""
+    global _sweep_matcher
+    base, positions, floorplan, config, part = payload
+    if _sweep_matcher is None or _sweep_matcher[0] is not payload:
+        _sweep_matcher = (payload, Matcher(base, config.library))
+    matcher = _sweep_matcher[1]
+    return run_k_point(base, positions, floorplan, config, k,
+                       partition=part, matcher=matcher)
+
+
+def _progress_line(point: EvalPoint) -> str:
+    return (f"K={point.k:g}: area={point.cell_area:.0f} "
+            f"cells={point.num_cells} util={point.utilization:.1f}% "
+            f"violations={point.violations}")
 
 
 def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
             k_values: Sequence[float] = PAPER_K_VALUES,
             positions: Optional[PositionMap] = None,
-            progress: Optional[Callable[[str], None]] = None
-            ) -> List[EvalPoint]:
+            progress: Optional[Callable[[str], None]] = None,
+            workers: Optional[int] = None) -> List[EvalPoint]:
     """The Table 2/4 experiment: one mapping + evaluation per K.
 
     The technology-independent placement is computed once and re-used
     for every K (each :func:`run_k_point` copies it internally through
-    the mapper), exactly as the paper's methodology prescribes.
+    the mapper), exactly as the paper's methodology prescribes.  The
+    partition and the matcher's match enumeration likewise depend only
+    on the base network and its placement, so they are hoisted out of
+    the per-K loop.
+
+    ``workers`` (defaulting to ``config.workers``) fans the K points
+    out over a process pool; the returned points are bit-identical to
+    the serial path's (same ``EvalPoint.row()`` tuples, same order).
     """
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed)
+    nworkers = max(1, config.workers if workers is None else workers)
+    part = make_partition(base, config.partition_style, positions=positions)
+    payload = (base, positions, floorplan, config, part)
+    k_list = list(k_values)
+    if nworkers > 1 and len(k_list) > 1:
+        exec_stats: Dict[str, float] = {}
+        points = fan_out(_k_point_task, payload, k_list,
+                         workers=nworkers, stats=exec_stats)
+        for point in points:
+            point.stats.update(exec_stats)
+            if progress is not None:
+                progress(_progress_line(point))
+        return points
     points: List[EvalPoint] = []
-    for k in k_values:
-        point = run_k_point(base, positions, floorplan, config, k)
+    for k in k_list:
+        point = _k_point_task(payload, k)
         points.append(point)
         if progress is not None:
-            progress(f"K={k:g}: area={point.cell_area:.0f} "
-                     f"cells={point.num_cells} util={point.utilization:.1f}% "
-                     f"violations={point.violations}")
+            progress(_progress_line(point))
     return points
 
 
@@ -192,9 +307,15 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
     """
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed)
+    # The loop is inherently sequential (each K's verdict gates the
+    # next), but the K-independent work — partition and match
+    # enumeration — is still hoisted out of it.
+    part = make_partition(base, config.partition_style, positions=positions)
+    matcher = Matcher(base, config.library)
     history: List[EvalPoint] = []
     for k in k_schedule:
-        point = run_k_point(base, positions, floorplan, config, k)
+        point = run_k_point(base, positions, floorplan, config, k,
+                            partition=part, matcher=matcher)
         history.append(point)
         if point.violations <= tolerance:
             return FlowResult(chosen=point, history=history, converged=True)

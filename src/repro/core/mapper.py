@@ -16,6 +16,7 @@ placer may use as an initial guess.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -65,13 +66,24 @@ class TechnologyMapper:
     positions:
         Placement of the base network (required for the placement
         partitioner and whenever the objective uses wire cost).
+    partition:
+        A precomputed :class:`Partition` of ``network`` under the same
+        positions.  The partition depends only on the base network and
+        its placement — not on the objective — so a K sweep computes it
+        once and passes it to every mapping run.
+    matcher:
+        A shared :class:`Matcher` over ``network``/``library``.  Its
+        per-``(vertex, tree)`` memo makes repeated runs (one per K)
+        enumerate each tree's matches once.
     """
 
     def __init__(self, network: BaseNetwork, library: CellLibrary,
                  objective: Optional[CoverObjective] = None,
                  partition_style: str = DAGON,
                  positions: Optional[PositionMap] = None,
-                 max_tree_size: Optional[int] = None):  # noqa: D107
+                 max_tree_size: Optional[int] = None,
+                 partition: Optional[Partition] = None,
+                 matcher: Optional[Matcher] = None):  # noqa: D107
         self.network = network
         self.library = library
         self.objective = objective or min_area()
@@ -85,25 +97,46 @@ class TechnologyMapper:
             positions = PositionMap.zeros(network.num_vertices())
         self.positions = positions.copy()
         self.max_tree_size = max_tree_size
-        self.matcher = Matcher(network, library)
+        self.partition = partition
+        self.matcher = matcher if matcher is not None \
+            else Matcher(network, library)
 
     def run(self) -> MappingResult:
         """Execute the full mapping flow and return the result."""
         network = self.network
-        kwargs = {}
-        if self.max_tree_size is not None:
-            kwargs["max_tree_size"] = self.max_tree_size
-        part = make_partition(network, self.partition_style,
-                              positions=self.positions, **kwargs)
+        matcher = self.matcher
+        hits0 = matcher.stats["match_cache_hits"]
+        misses0 = matcher.stats["match_cache_misses"]
+        t0 = time.perf_counter()
+        if self.partition is not None:
+            part = self.partition
+        else:
+            kwargs = {}
+            if self.max_tree_size is not None:
+                kwargs["max_tree_size"] = self.max_tree_size
+            part = make_partition(network, self.partition_style,
+                                  positions=self.positions, **kwargs)
+        t_partition = time.perf_counter() - t0
         builder = _NetlistBuilder(network, self.library, part,
                                   self.positions, self.objective)
+        t0 = time.perf_counter()
         for root in part.roots:
-            cover = cover_tree(network, part.trees[root], self.matcher,
+            cover = cover_tree(network, part.trees[root], matcher,
                                self.library, self.objective,
                                builder.boundary, part.materialized)
             builder.commit_tree(cover)
+        t_cover = time.perf_counter() - t0
+        t0 = time.perf_counter()
         result = builder.finish()
-        result.partition = part
+        result.stats.update({
+            "t_partition": t_partition,
+            "t_cover": t_cover,
+            "t_build": time.perf_counter() - t0,
+            "match_cache_hits":
+                float(matcher.stats["match_cache_hits"] - hits0),
+            "match_cache_misses":
+                float(matcher.stats["match_cache_misses"] - misses0),
+        })
         return result
 
 
@@ -124,6 +157,7 @@ class _NetlistBuilder:
         self.inv_net: Dict[int, str] = {}        # vertex -> complement net
         self.instance_positions: Dict[str, Point] = {}
         self.wirelength = 0.0
+        self.claimed_area = 0.0     # DP-predicted area, for auditing
         self._net_uid = 0
         self._reserved = set(network.input_vertex) | set(network.outputs)
         self._po_of_vertex: Dict[int, List[str]] = {}
@@ -163,18 +197,36 @@ class _NetlistBuilder:
             raise MappingError(f"root net mismatch at vertex {root}")
         self.net_of_vertex[root] = root_net
         sol = cover.root_solution()
+        self.claimed_area += sol.area
         self.boundary.arrivals[root] = sol.arrival
+        self.boundary.wires[root] = sol.wire_transitive
         # The root's committed location is its top match's center of mass.
         self.positions.set(root, sol.com)
 
     def _realize(self, cover: TreeCover, vertex: int, phase: bool,
                  want_net: Optional[str] = None) -> str:
         key = (vertex, phase)
-        if key in self._realized and want_net is None:
-            return self._realized[key]
+        if key in self._realized:
+            net = self._realized[key]
+            if want_net is None or net == want_net:
+                return net
+            # Already realized under another name: rename that net to
+            # the requested one instead of emitting a duplicate driver.
+            self._rename_net(net, want_net)
+            return want_net
         net = self._realize_solution(cover, cover.solutions[key], want_net)
         self._realized[key] = net
         return net
+
+    def _rename_net(self, old: str, new: str) -> None:
+        """Rename a realized net and patch all builder bookkeeping."""
+        self.netlist.rename_net(old, new)
+        self._reserved.add(new)
+        for table in (self._realized, self._realized_sol,
+                      self.net_of_vertex, self.inv_net):
+            for key, net in table.items():
+                if net == old:
+                    table[key] = new
 
     def _realize_solution(self, cover: TreeCover, sol,
                           want_net: Optional[str] = None) -> str:
@@ -230,6 +282,8 @@ class _NetlistBuilder:
                 inv.name, {inv.input_pins[0]: base_net}, inv_net)
             self.instance_positions[inst.name] = self.positions.get(vertex)
             self.inv_net[vertex] = inv_net
+            # Later trees' DPs see the complement as already paid for.
+            self.boundary.complemented.add(vertex)
         return inv_net
 
     # -- finalisation ------------------------------------------------------
@@ -253,6 +307,7 @@ class _NetlistBuilder:
             "cell_area": area,
             "removed_unused": float(removed),
             "estimated_wirelength": self.wirelength,
+            "dp_claimed_area": self.claimed_area,
         }
         return MappingResult(
             netlist=self.netlist, partition=self.part,
@@ -266,10 +321,13 @@ def map_network(network: BaseNetwork, library: CellLibrary,
                 objective: Optional[CoverObjective] = None,
                 partition_style: str = DAGON,
                 positions: Optional[PositionMap] = None,
-                max_tree_size: Optional[int] = None) -> MappingResult:
+                max_tree_size: Optional[int] = None,
+                partition: Optional[Partition] = None,
+                matcher: Optional[Matcher] = None) -> MappingResult:
     """One-call convenience wrapper around :class:`TechnologyMapper`."""
     mapper = TechnologyMapper(network, library, objective=objective,
                               partition_style=partition_style,
                               positions=positions,
-                              max_tree_size=max_tree_size)
+                              max_tree_size=max_tree_size,
+                              partition=partition, matcher=matcher)
     return mapper.run()

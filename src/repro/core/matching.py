@@ -51,11 +51,41 @@ class Match:
 
 
 class Matcher:
-    """Enumerates matches of a library's patterns over a base network."""
+    """Enumerates matches of a library's patterns over a base network.
+
+    Enumeration depends only on the network, the library and the
+    membership set of the current subject tree — never on the covering
+    objective — so results are memoized per ``(vertex, tree members)``
+    (see :meth:`matches_in_tree`).  A K sweep that re-maps the same
+    partitioned network 14 times then enumerates each tree's matches
+    once, not once per K.  ``stats`` counts cache hits and misses.
+    """
 
     def __init__(self, network: BaseNetwork, library: CellLibrary):  # noqa: D107
         self.network = network
         self.library = library
+        self._memo: Dict[Tuple[int, FrozenSet[int]],
+                         Dict[bool, List[Match]]] = {}
+        self.stats: Dict[str, int] = {"match_cache_hits": 0,
+                                      "match_cache_misses": 0}
+
+    def matches_in_tree(self, vertex: int, members: FrozenSet[int]
+                        ) -> Dict[bool, List[Match]]:
+        """Memoized :meth:`matches_at` for a tree's membership set.
+
+        ``members`` must be the frozen member set of the subject tree
+        rooted above ``vertex`` (consumability == membership).  The
+        returned dict is shared between callers and must not be mutated.
+        """
+        key = (vertex, members)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.stats["match_cache_hits"] += 1
+            return cached
+        self.stats["match_cache_misses"] += 1
+        out = self.matches_at(vertex, members.__contains__)
+        self._memo[key] = out
+        return out
 
     def matches_at(self, vertex: int, consumable: Callable[[int], bool]
                    ) -> Dict[bool, List[Match]]:

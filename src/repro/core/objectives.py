@@ -6,12 +6,13 @@ objective folds it into the scalar the DP minimises.
 
 * ``MinArea``            — classic DAGON:   cost = AREA
 * ``AreaCongestion(K)``  — the paper:       cost = AREA + K * WIRE
-  where WIRE spans the match's fanins and *their* children only
-  (Eqs. 2–4).
+  where WIRE = WIRE1 + WIRE2 (Eq. 4): the match's own fanin distances
+  plus the fanins' *stored* wire costs, accumulated down to the current
+  tree's leaves (Eqs. 2–3) and restarting at tree boundaries.
 * ``AreaCongestion(K, transitive_wire=True)`` — the Pedram–Bhat [9]
-  variant the paper argues against: WIRE accumulates over all
-  transitive fanins down to the primary inputs (used by the ablation
-  bench).
+  variant the paper argues against: WIRE additionally accumulates
+  *across* tree boundaries, over all transitive fanins down to the
+  primary inputs (used by the ablation bench).
 * ``MinDelay``           — Rudell-style minimum arrival under a
   constant-load delay estimate, with optional wire term.
 

@@ -31,7 +31,7 @@ duplication the paper calls "comparable with [12]".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from ..errors import MappingError
 from ..network.dag import BaseNetwork
@@ -53,9 +53,17 @@ class Tree:
 
     root: int
     members: Set[int] = field(default_factory=set)
+    _frozen: Optional[FrozenSet[int]] = field(
+        default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.members)
+
+    def frozen_members(self) -> FrozenSet[int]:
+        """The member set as a (cached) frozenset — the matcher memo key."""
+        if self._frozen is None or len(self._frozen) != len(self.members):
+            self._frozen = frozenset(self.members)
+        return self._frozen
 
 
 @dataclass

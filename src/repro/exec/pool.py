@@ -1,0 +1,125 @@
+"""Process-pool fan-out for embarrassingly parallel flow stages.
+
+The paper's methodology (Section 5, Figure 3) is built on re-mapping
+being cheap relative to re-synthesis; this module makes the repeated
+trials — the K points of a sweep, the placement attempts of an
+evaluation — run concurrently when the hardware allows, without ever
+changing their results:
+
+* **Ordered collection** — results come back in task order, so callers
+  see exactly the sequence the serial loop would have produced.
+* **Deterministic seeds** — :func:`derive_seed` is the single formula
+  both the serial and the parallel paths use, so a task's RNG stream
+  does not depend on which worker ran it.
+* **Graceful fallback** — ``workers <= 1``, a single task, or *any*
+  failure to stand the pool up (missing ``multiprocessing`` support,
+  unpicklable payloads, sandboxed environments) silently degrades to
+  the serial loop.  Parallelism only ever changes wall time.
+
+Workers receive one constant ``payload`` through the pool initializer
+(sent once per worker, not once per task) and then stream tasks.  Task
+functions must be module-level callables of ``(payload, task)``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["default_workers", "derive_seed", "fan_out", "pool_available"]
+
+#: Task function signature: (payload, task) -> result.
+TaskFn = Callable[[Any, Any], Any]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-task seed.
+
+    Both the serial and the parallel execution paths derive attempt and
+    trial seeds through this one formula, which is what makes
+    ``workers=N`` bit-identical to ``workers=1``.
+    """
+    return base_seed + index
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (scheduler-affinity aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def pool_available() -> bool:
+    """Whether a process pool can be created at all on this platform."""
+    try:
+        multiprocessing.get_context(_start_method())
+        return True
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        return False
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, shares loaded modules) where supported."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+# Worker-process state, installed once per worker by the initializer.
+_worker_fn: Optional[TaskFn] = None
+_worker_payload: Any = None
+
+
+def _pool_initializer(fn: TaskFn, payload: Any) -> None:
+    global _worker_fn, _worker_payload
+    _worker_fn = fn
+    _worker_payload = payload
+
+
+def _pool_call(task: Any) -> Any:
+    assert _worker_fn is not None
+    return _worker_fn(_worker_payload, task)
+
+
+def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
+            workers: int = 1,
+            stats: Optional[Dict[str, float]] = None) -> List[Any]:
+    """Apply ``fn(payload, task)`` to every task; results in task order.
+
+    ``workers <= 1`` (or a single task) runs the plain serial loop.
+    With ``workers > 1`` a process pool is attempted; contiguous chunks
+    are handed to each worker so per-process caches (e.g. the matcher
+    memo) amortise across a worker's share of the tasks.  Any failure
+    to create or use the pool falls back to the serial loop — the
+    results are the same either way.
+
+    ``stats``, when given, receives ``exec_workers`` (processes
+    actually used; 1 for serial) and ``exec_parallel`` (0/1).
+    """
+    tasks = list(tasks)
+    workers = max(1, int(workers))
+    nproc = min(workers, len(tasks))
+    if nproc > 1 and pool_available():
+        try:
+            results = _fan_out_pool(fn, payload, tasks, nproc)
+            if stats is not None:
+                stats["exec_workers"] = float(nproc)
+                stats["exec_parallel"] = 1.0
+            return results
+        except Exception:
+            pass  # pool or pickling failure: fall through to serial
+    if stats is not None:
+        stats["exec_workers"] = 1.0
+        stats["exec_parallel"] = 0.0
+    return [fn(payload, task) for task in tasks]
+
+
+def _fan_out_pool(fn: TaskFn, payload: Any, tasks: List[Any],
+                  nproc: int) -> List[Any]:
+    ctx = multiprocessing.get_context(_start_method())
+    chunksize = max(1, math.ceil(len(tasks) / nproc))
+    with ctx.Pool(processes=nproc, initializer=_pool_initializer,
+                  initargs=(fn, payload)) as pool:
+        return pool.map(_pool_call, tasks, chunksize=chunksize)

@@ -94,6 +94,29 @@ class MappedNetlist:
             if candidate not in self.instances:
                 return candidate
 
+    def rename_net(self, old: str, new: str) -> None:
+        """Rename a net everywhere: driver, sink pins, PIs and PO bindings.
+
+        ``new`` must not already name a net (a driven net or a primary
+        input).  Primary *output* names are observation points, not
+        nets, and are left untouched unless they observe ``old``.
+        """
+        if old == new:
+            return
+        if new in self.driver_map() or new in self.inputs:
+            raise NetworkError(f"cannot rename {old!r}: net {new!r} exists")
+        if old in self.inputs:
+            self.inputs[self.inputs.index(old)] = new
+        for inst in self.instances.values():
+            if inst.output == old:
+                inst.output = new
+            for pin, net in inst.pins.items():
+                if net == old:
+                    inst.pins[pin] = new
+        for name, net in self.output_net.items():
+            if net == old:
+                self.output_net[name] = new
+
     def new_net_name(self, prefix: str = "w") -> str:
         """Fresh net name (checks drivers and PIs)."""
         drivers = self.driver_map()

@@ -169,6 +169,157 @@ class TestWireCost:
         assert high >= low
 
 
+class TestWire2Recursion:
+    """Regression for Eq. 3: WIRE2 must use the fanins' *stored* wire.
+
+    The pre-fix code summed the fanins' one-level WIRE1 instead, so a
+    three-level tree "forgot" the wire of its grandchildren.  The chain
+    below is hand-computed: identity NAND2 covers are the only sensible
+    option, so every wire figure is exact.
+    """
+
+    def _chain(self):
+        net = BaseNetwork("chain3")
+        a = net.add_input("a")          # vertex 0
+        b = net.add_input("b")          # vertex 1
+        v1 = net.add_nand2(a, b)        # vertex 2
+        c = net.add_input("c")          # vertex 3
+        v2 = net.add_nand2(v1, c)       # vertex 4
+        d = net.add_input("d")          # vertex 5
+        v3 = net.add_nand2(v2, d)       # vertex 6
+        net.set_output("y", v3)
+        positions = PositionMap([
+            (0.0, 0.0),   # a
+            (2.0, 0.0),   # b
+            (1.0, 0.0),   # v1 -> match com (1, 0)
+            (4.0, 0.0),   # c
+            (3.0, 0.0),   # v2 -> match com (3, 0)
+            (8.0, 0.0),   # d
+            (6.0, 0.0),   # v3 -> match com (6, 0)
+        ])
+        return net, positions
+
+    def _cover(self, k):
+        net, positions = self._chain()
+        part = dagon_partition(net)
+        assert part.roots == [6]
+        matcher = Matcher(net, CORELIB018)
+        boundary = BoundaryInfo(positions)
+        return cover_tree(net, part.trees[6], matcher, CORELIB018,
+                          area_congestion(k), boundary, part.materialized)
+
+    def test_hand_computed_wire_accumulates_three_levels(self):
+        # wire1(v1) = |v1-a| + |v1-b|  = 1 + 1 = 2     (Eq. 2)
+        # wire(v1)  = 2                                (leaves are PIs)
+        # wire1(v2) = |v2-v1| + |v2-c| = 2 + 1 = 3
+        # wire(v2)  = 3 + wire(v1)     = 5             (Eq. 3 + Eq. 4)
+        # wire1(v3) = |v3-v2| + |v3-d| = 3 + 2 = 5
+        # wire(v3)  = 5 + wire(v2)     = 10
+        # The pre-fix code scored wire(v3) = wire1(v3) + wire1(v2) = 8.
+        sol = self._cover(0.01).root_solution()
+        nand = CORELIB018.cell("NAND2_X1")
+        assert sol.wire1 == pytest.approx(5.0)
+        assert sol.wire == pytest.approx(10.0)
+        assert sol.area == pytest.approx(3 * nand.area)
+        assert sol.cost == pytest.approx(3 * nand.area + 0.01 * 10.0)
+
+    def test_paper_wire_equals_transitive_within_one_tree(self):
+        # With no tree boundaries above PIs the two accumulations agree.
+        sol = self._cover(0.01).root_solution()
+        assert sol.wire == pytest.approx(sol.wire_transitive)
+
+
+def _oai_library():
+    """INV + NAND2 + OAI21 only, with hand-friendly areas."""
+    from repro.library.cell import CellLibrary, LibCell
+    from repro.library.patterns import leaf, pinv, pnand
+
+    def cell(name, patterns, area):
+        pins = {p: 0.002 for p in patterns[0].leaves()}
+        return LibCell(name=name, patterns=tuple(patterns), area=area,
+                       intrinsic_delay=0.03, drive_resistance=6.0,
+                       pin_caps=pins)
+
+    oai21 = pnand(pnand(pinv(leaf("A")), pinv(leaf("B"))), leaf("C"))
+    return CellLibrary("oai_mini", [
+        cell("INV", [pinv(leaf("A"))], 2.0),
+        cell("NAND2", [pnand(leaf("A"), leaf("B"))], 4.0),
+        cell("OAI21", [oai21], 9.0),
+    ])
+
+
+class TestSharedComplementCost:
+    """Regression: a NEG reference to a materialized net costs one
+    inverter *total*, not one per referencing tree.
+
+    The netlist builder shares a single complement inverter per net;
+    the pre-fix DP charged ``inv.area`` for every NEG leaf, so its
+    claimed area drifted from the realised netlist area by one inverter
+    per extra sharer.
+
+    Construction: p and q are materialized NAND2 nets.  Two trees
+    ``r = NAND2(s, e)`` with ``s = NAND2(p, q)`` are each covered by
+    OAI21 (= (p' + q')' NAND e), whose two ``pinv``-over-leaf pattern
+    nodes NEG-reference the shared nets p and q.  With r far from the
+    rest, OAI21's center of mass halves the long wires, beating the
+    two-NAND2 cover (area 8, wire 200) at K = 0.2:
+
+        tree 1: area 9 + 2 + 2 (both complements new), wire 150
+        tree 2: area 9 + 0 + 0 (complements exist),    wire 150
+    """
+
+    def _base(self):
+        from repro.network.dag import NAND2 as KIND_NAND2
+        net = BaseNetwork("sharedneg")
+        p = net.add_nand2(net.add_input("x1"), net.add_input("y1"))
+        q = net.add_nand2(net.add_input("x2"), net.add_input("y2"))
+        e1 = net.add_input("e1")
+        s1 = net.add_nand2(p, q)
+        r1 = net.add_nand2(s1, e1)
+        e2 = net.add_input("e2")
+        # A second, *distinct* NAND2(p, q) — bypassing the structural
+        # hash, which would merge it with s1 into one multi-fanout
+        # vertex and break the two-sharing-trees shape.
+        s2 = net._new_vertex(KIND_NAND2, (p, q))
+        r2 = net.add_nand2(s2, e2)
+        net.set_output("o1", r1)
+        net.set_output("o2", r2)
+        positions = PositionMap(
+            [(0.0, 0.0) if v in (r1, r2) else (100.0, 0.0)
+             for v in range(net.num_vertices())])
+        return net, positions
+
+    def test_dp_claimed_area_matches_realized_area(self):
+        from repro.core import map_network
+        net, positions = self._base()
+        lib = _oai_library()
+        result = map_network(net, lib, area_congestion(0.2),
+                             partition_style="dagon", positions=positions)
+        # p, q, two OAI21 covers, and ONE shared inverter per complement.
+        hist = result.netlist.cell_histogram()
+        assert hist == {"NAND2": 2, "INV": 2, "OAI21": 2}
+        assert result.stats["cell_area"] == pytest.approx(30.0)
+        assert result.stats["dp_claimed_area"] == \
+            pytest.approx(result.stats["cell_area"])
+
+    def test_prefix_behaviour_overcharges_per_sharing_tree(self, monkeypatch):
+        # Simulate the pre-fix DP (every NEG leaf pays the inverter) and
+        # check the claimed area drifts by exactly the two re-charged
+        # complements — i.e. this regression genuinely fails on the old
+        # cost model while the realised netlist is unchanged.
+        from repro.core import map_network
+        monkeypatch.setattr(BoundaryInfo, "has_complement",
+                            lambda self, vertex: False)
+        net, positions = self._base()
+        lib = _oai_library()
+        result = map_network(net, lib, area_congestion(0.2),
+                             partition_style="dagon", positions=positions)
+        assert result.netlist.cell_histogram() == \
+            {"NAND2": 2, "INV": 2, "OAI21": 2}
+        assert result.stats["dp_claimed_area"] == \
+            pytest.approx(result.stats["cell_area"] + 2 * lib.inverter.area)
+
+
 class TestSolutionBookkeeping:
     def test_root_positive_solution_exists(self, small_base):
         part = dagon_partition(small_base)

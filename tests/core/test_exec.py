@@ -1,0 +1,116 @@
+"""Tests for the parallel execution layer (repro.exec)."""
+
+import pytest
+
+from repro.circuits import random_pla
+from repro.core import FlowConfig, k_sweep
+from repro.exec import default_workers, derive_seed, fan_out, pool_available
+from repro.library import CORELIB018
+from repro.network import decompose
+from repro.place import Floorplan, place_base_network
+
+
+def _square(payload, task):
+    return payload * task * task
+
+
+def _boom(payload, task):
+    raise ValueError(f"task {task} failed")
+
+
+class TestFanOut:
+    def test_serial_ordered(self):
+        assert fan_out(_square, 2, [0, 1, 2, 3], workers=1) == [0, 2, 8, 18]
+
+    def test_parallel_ordered_and_identical_to_serial(self):
+        tasks = list(range(20))
+        serial = fan_out(_square, 3, tasks, workers=1)
+        stats = {}
+        parallel = fan_out(_square, 3, tasks, workers=4, stats=stats)
+        assert parallel == serial
+        assert stats["exec_workers"] >= 1.0
+
+    def test_single_task_stays_serial(self):
+        stats = {}
+        assert fan_out(_square, 1, [5], workers=8, stats=stats) == [25]
+        assert stats["exec_parallel"] == 0.0
+
+    def test_unpicklable_payload_falls_back_to_serial(self):
+        # A lambda payload cannot cross a process boundary; the pool
+        # attempt must degrade to the serial loop, not crash.
+        stats = {}
+        out = fan_out(lambda payload, task: task + 1,
+                      None, [1, 2], workers=4, stats=stats)
+        assert out == [2, 3]
+
+    def test_task_error_propagates(self):
+        with pytest.raises(ValueError):
+            fan_out(_boom, None, [1, 2], workers=1)
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(7, 0) == 7
+        assert [derive_seed(3, i) for i in range(4)] == \
+            [derive_seed(3, i) for i in range(4)]
+        assert len({derive_seed(0, i) for i in range(100)}) == 100
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+        assert pool_available() in (True, False)
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    pla = random_pla("par", num_inputs=9, num_outputs=5, num_products=24,
+                     literals=(3, 5), outputs_per_product=(1, 2), seed=21)
+    base = decompose(pla.to_network())
+    config = FlowConfig(library=CORELIB018, max_route_iterations=6)
+    floorplan = Floorplan.from_rows(13, aspect=1.0)
+    positions = place_base_network(base, floorplan)
+    return base, config, floorplan, positions
+
+
+class TestParallelKSweepDeterminism:
+    """ISSUE 2 acceptance: workers=N is bit-identical to workers=1."""
+
+    K_VALUES = [0.0, 0.0005, 0.005, 0.05, 0.5]
+
+    def test_rows_identical_point_for_point(self, sweep_setup):
+        base, config, floorplan, positions = sweep_setup
+        serial = k_sweep(base, floorplan, config, k_values=self.K_VALUES,
+                         positions=positions, workers=1)
+        parallel = k_sweep(base, floorplan, config, k_values=self.K_VALUES,
+                           positions=positions, workers=4)
+        assert len(serial) == len(parallel) == len(self.K_VALUES)
+        for s, p in zip(serial, parallel):
+            assert s.row() == p.row()
+            # Beyond the row tuple: the full evaluation agrees.
+            assert s.routed_wirelength == p.routed_wirelength
+            assert s.hpwl == p.hpwl
+            assert s.mapping.netlist.cell_histogram() == \
+                p.mapping.netlist.cell_histogram()
+
+    def test_config_workers_used_as_default(self, sweep_setup):
+        base, config, floorplan, positions = sweep_setup
+        cfg = FlowConfig(library=config.library,
+                         max_route_iterations=config.max_route_iterations,
+                         workers=2)
+        serial = k_sweep(base, floorplan, config, k_values=[0.0, 0.01],
+                         positions=positions)
+        viaconfig = k_sweep(base, floorplan, cfg, k_values=[0.0, 0.01],
+                            positions=positions)
+        assert [p.row() for p in serial] == [p.row() for p in viaconfig]
+
+    def test_instrumentation_present(self, sweep_setup):
+        base, config, floorplan, positions = sweep_setup
+        points = k_sweep(base, floorplan, config, k_values=[0.0, 0.001],
+                         positions=positions)
+        for point in points:
+            for key in ("t_map", "t_eval", "t_place", "t_route",
+                        "t_partition", "t_cover", "t_build",
+                        "match_cache_hits", "match_cache_misses"):
+                assert key in point.stats, key
+        # The matcher memo is shared across the sweep: the second K
+        # re-uses the first K's enumerations.
+        assert points[0].stats["match_cache_misses"] > 0
+        assert points[1].stats["match_cache_misses"] == 0
+        assert points[1].stats["match_cache_hits"] > 0

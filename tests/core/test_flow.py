@@ -178,3 +178,37 @@ class TestTiming:
             timing_of_point(point, config)
         report = timing_of_point(point, config, netlist=netlist)
         assert report.critical_arrival > 0
+
+
+class TestPlaceAttemptSeeds:
+    """Regression: routing retries must advance the router seed too.
+
+    The pre-fix retry loop re-seeded only the placer, so every attempt
+    re-rolled placement against a frozen router RNG stream.
+    """
+
+    def test_router_seed_advances_with_attempt(self, flow_setup, monkeypatch):
+        import repro.core.flow as flow_mod
+
+        base, config, floorplan, positions = flow_setup
+        mapping = flow_mod.map_network(
+            base, config.library, partition_style="dagon")
+
+        seeds = []
+        real_router = flow_mod.GlobalRouter
+
+        class SpyRouter(real_router):
+            def __init__(self, *args, **kwargs):
+                seeds.append(kwargs.get("seed"))
+                super().__init__(*args, **kwargs)
+
+            def route(self, points):
+                routing = super().route(points)
+                routing.violations = 1   # force every attempt to "fail"
+                return routing
+
+        monkeypatch.setattr(flow_mod, "GlobalRouter", SpyRouter)
+        cfg = FlowConfig(library=config.library, seed=11, place_attempts=3,
+                         max_route_iterations=2)
+        flow_mod.evaluate_netlist(mapping.netlist, floorplan, cfg)
+        assert seeds == [11, 12, 13]

@@ -108,6 +108,62 @@ class TestPolarityPropagation:
         assert matches[POS] == [] and matches[NEG] == []
 
 
+class TestMatchMemoization:
+    """ISSUE 2 satellite: per-(vertex, tree) match memoization."""
+
+    def _deep_base(self):
+        net = BaseNetwork("memo")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        n1 = net.add_nand2(a, b)
+        i1 = net.add_inv(n1)
+        c = net.add_input("c")
+        n2 = net.add_nand2(i1, c)
+        net.set_output("y", n2)
+        return net, (n1, i1, n2)
+
+    @staticmethod
+    def _keys(matches):
+        return {(m.cell.name, m.phase, tuple(sorted(m.leaves)), m.consumed)
+                for phase in (POS, NEG) for m in matches[phase]}
+
+    def test_memoized_equals_fresh_for_two_memberships(self):
+        # The same vertex under two different tree memberships must
+        # return exactly the matches a fresh enumeration yields.
+        net, (n1, i1, n2) = self._deep_base()
+        matcher = Matcher(net, CORELIB018)
+        small = frozenset({n2})
+        large = frozenset({n1, i1, n2})
+        for members in (small, large):
+            fresh = Matcher(net, CORELIB018).matches_at(
+                n2, members.__contains__)
+            memo = matcher.matches_in_tree(n2, members)
+            assert self._keys(memo) == self._keys(fresh)
+        # The two memberships genuinely differ: the large one lets
+        # bigger patterns consume down through i1/n1.
+        consumed_large = {m.consumed
+                          for m in matcher.matches_in_tree(n2, large)[POS]}
+        assert any(len(cset) > 1 for cset in consumed_large)
+        consumed_small = {m.consumed
+                          for m in matcher.matches_in_tree(n2, small)[POS]}
+        assert all(cset == frozenset({n2}) for cset in consumed_small)
+
+    def test_cache_counters(self):
+        net, (n1, i1, n2) = self._deep_base()
+        matcher = Matcher(net, CORELIB018)
+        members = frozenset({n1, i1, n2})
+        first = matcher.matches_in_tree(n2, members)
+        assert matcher.stats == {"match_cache_hits": 0,
+                                 "match_cache_misses": 1}
+        again = matcher.matches_in_tree(n2, members)
+        assert again is first  # the cached dict itself
+        assert matcher.stats == {"match_cache_hits": 1,
+                                 "match_cache_misses": 1}
+        # A different membership is a different cache key.
+        matcher.matches_in_tree(n2, frozenset({n2}))
+        assert matcher.stats["match_cache_misses"] == 2
+
+
 class TestComplexCells:
     def test_aoi21_matches(self):
         net = BooleanNetwork("aoi")

@@ -103,3 +103,32 @@ class TestCleanupAndStats:
         assert tiny.new_instance_name() not in tiny.instances
         fresh_net = tiny.new_net_name()
         assert fresh_net not in tiny.nets()
+
+
+class TestRenameNet:
+    def test_renames_driver_and_sinks(self, tiny):
+        tiny.rename_net("n1", "mid")
+        assert tiny.instances["u1"].output == "mid"
+        assert tiny.instances["u2"].pins["A"] == "mid"
+        tiny.check()
+
+    def test_renames_po_binding(self, tiny):
+        tiny.rename_net("y", "out")
+        assert tiny.output_net["y"] == "out"
+        assert tiny.instances["u2"].output == "out"
+        tiny.check()
+
+    def test_renames_primary_input(self, tiny):
+        tiny.rename_net("a", "a2")
+        assert "a2" in tiny.inputs and "a" not in tiny.inputs
+        assert tiny.instances["u1"].pins["A"] == "a2"
+
+    def test_rejects_existing_net(self, tiny):
+        with pytest.raises(NetworkError):
+            tiny.rename_net("n1", "y")   # y is driven
+        with pytest.raises(NetworkError):
+            tiny.rename_net("n1", "a")   # a is a primary input
+
+    def test_rename_to_self_is_noop(self, tiny):
+        tiny.rename_net("n1", "n1")
+        assert tiny.instances["u1"].output == "n1"
