@@ -14,11 +14,13 @@ is deliberately light, so the bench asserts only the linearity and that
 output size tracks input size.
 """
 
+import json
+import os
 import time
 
 import pytest
 
-from conftest import publish
+from conftest import RESULTS_DIR, publish
 from repro.circuits import spla_like
 from repro.core import (
     area_congestion,
@@ -32,11 +34,23 @@ from repro.io import format_table
 from repro.library import CORELIB018
 from repro.network import decompose
 from repro.place import Floorplan, place_base_network
+from repro.place.placer import place_netlist
+from repro.route import GlobalRouter
 
 SCALES = [0.03, 0.06, 0.125]
 
 #: K schedule for the execution-layer bench (a prefix of the paper's).
 SWEEP_K = [0.0, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.5]
+
+#: Smoke mode (CI): smallest scale only, no speedup floor — the point
+#: is exercising the bench path and the equivalence asserts, not
+#: measuring a container's timer.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Full-run acceptance: the vectorized engine must beat the per-edge
+#: reference (the PR-2-era routing style) by this factor at the
+#: largest scale.
+ROUTING_SPEEDUP_FLOOR = 3.0
 
 _cache = {}
 
@@ -132,6 +146,13 @@ def run_sweep_modes(config):
         "parallel_rows": [p.row() for p in parallel],
         "cache_hits": sum(p.stats["match_cache_hits"] for p in serial),
         "cache_misses": sum(p.stats["match_cache_misses"] for p in serial),
+        "routes_reused": sum(p.stats.get("routes_reused", 0)
+                             for p in serial),
+        "segments_rerouted": sum(p.stats.get("segments_rerouted", 0)
+                                 for p in serial),
+        "t_route_serial": sum(p.stats.get("t_init_route", 0.0) +
+                              p.stats.get("t_negotiate", 0.0)
+                              for p in serial),
     }
 
 
@@ -156,7 +177,10 @@ def test_sweep_execution_layer(benchmark, config):
           f"{r['t_cold'] / max(r['t_parallel'], 1e-9):.2f}x")],
         title=f"K-sweep execution layer ({len(SWEEP_K)} K points, "
               f"{cpus} CPU(s) available; match cache "
-              f"{r['cache_hits']:.0f} hits / {r['cache_misses']:.0f} misses)")
+              f"{r['cache_hits']:.0f} hits / {r['cache_misses']:.0f} misses; "
+              f"router {r['routes_reused']:.0f} routes warm-started, "
+              f"{r['segments_rerouted']:.0f} segments renegotiated, "
+              f"{r['t_route_serial']:.2f}s in routing)")
     publish("sweep_execution", table)
 
     # Bit-identical across all execution modes.
@@ -172,3 +196,97 @@ def test_sweep_execution_layer(benchmark, config):
         assert r["t_parallel"] * 2.0 <= r["t_serial"], \
             (f"workers=4 took {r['t_parallel']:.2f}s vs serial "
              f"{r['t_serial']:.2f}s on a {cpus}-CPU host")
+
+
+def run_routing_engines(config):
+    """Route identical placed netlists through both engines.
+
+    The reference engine evaluates every edge in Python, the way the
+    router worked before vectorization — it is both the correctness
+    oracle (results must match exactly) and the speedup baseline.
+    """
+    scales = SCALES[:1] if SMOKE else SCALES
+    rows = []
+    for scale in scales:
+        base = decompose(spla_like(scale))
+        # A marginal die, scaled down from the calibrated 30-row SPLA
+        # die (conftest): the engines must negotiate hard for tracks,
+        # which is exactly the phase the vectorization targets.
+        die_rows = max(10, round(30 * (scale / 0.125) ** 0.5))
+        floorplan = Floorplan.from_rows(die_rows, aspect=1.0)
+        positions = place_base_network(base, floorplan, seed=config.seed)
+        mapping = map_network(base, CORELIB018, area_congestion(0.001),
+                              partition_style="placement",
+                              positions=positions)
+        placement = place_netlist(mapping.netlist, CORELIB018, floorplan,
+                                  seed=config.seed)
+        points = placement.net_points(mapping.netlist)
+
+        results = {}
+        times = {}
+        for engine in ("vector", "reference"):
+            router = GlobalRouter(floorplan, config.resources,
+                                  gcell_rows=config.gcell_rows,
+                                  max_iterations=config.max_route_iterations,
+                                  seed=config.seed, engine=engine)
+            t0 = time.perf_counter()
+            results[engine] = router.route(points)
+            times[engine] = time.perf_counter() - t0
+        vec, ref = results["vector"], results["reference"]
+
+        # Equivalence gate: a speedup that changes answers is a bug.
+        assert vec.violations == ref.violations
+        assert vec.overflowed_nets == ref.overflowed_nets
+        assert vec.total_wirelength == ref.total_wirelength
+        assert vec.iterations == ref.iterations
+
+        rows.append({
+            "scale": scale,
+            "nets": len(points),
+            "violations": vec.violations,
+            "iterations": vec.iterations,
+            "t_vector": times["vector"],
+            "t_reference": times["reference"],
+            "speedup": times["reference"] / max(times["vector"], 1e-9),
+            "t_init_route": vec.stats["t_init_route"],
+            "t_negotiate": vec.stats["t_negotiate"],
+            "nets_rerouted": vec.stats["nets_rerouted"],
+            "segments_rerouted": vec.stats["segments_rerouted"],
+        })
+    return rows
+
+
+def test_routing_engines(benchmark, config):
+    """Vectorized routing speedup over the per-edge reference path."""
+    rows = benchmark.pedantic(run_routing_engines, args=(config,),
+                              rounds=1, iterations=1)
+    table = format_table(
+        ["scale", "nets", "violations", "iters", "vector (s)",
+         "init/negotiate (s)", "reference (s)", "speedup"],
+        [(f"{r['scale']:g}", r["nets"], r["violations"], r["iterations"],
+          f"{r['t_vector']:.3f}",
+          f"{r['t_init_route']:.3f}/{r['t_negotiate']:.3f}",
+          f"{r['t_reference']:.3f}", f"{r['speedup']:.1f}x")
+         for r in rows],
+        title="Global-routing engines - vectorized vs per-edge reference "
+              f"({'smoke' if SMOKE else 'full'} mode; identical results "
+              "asserted per scale)")
+    publish("routing_engines", table)
+
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "speedup_floor": None if SMOKE else ROUTING_SPEEDUP_FLOOR,
+        "rows": rows,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_routing.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    assert all(r["t_vector"] > 0 and r["t_reference"] > 0 for r in rows)
+    if not SMOKE:
+        largest = rows[-1]
+        assert largest["speedup"] >= ROUTING_SPEEDUP_FLOOR, \
+            (f"vectorized engine only {largest['speedup']:.1f}x over the "
+             f"reference at scale {largest['scale']:g} "
+             f"(floor {ROUTING_SPEEDUP_FLOOR:.0f}x)")

@@ -94,7 +94,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _cmd_flow(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018, workers=args.workers)
+    config = FlowConfig(library=CORELIB018, workers=args.workers,
+                        route_engine=args.route_engine,
+                        route_reuse=not args.no_route_reuse)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     result = congestion_aware_flow(base, floorplan, config,
@@ -112,13 +114,20 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 def _cmd_ksweep(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018, workers=args.workers)
+    config = FlowConfig(library=CORELIB018, workers=args.workers,
+                        route_engine=args.route_engine,
+                        route_reuse=not args.no_route_reuse)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     k_values = [float(k) for k in args.k.split(",")] if args.k \
         else list(PAPER_K_VALUES)
     points = k_sweep(base, floorplan, config, k_values=k_values,
                      progress=lambda msg: print(msg, file=sys.stderr))
+    reused = sum(int(p.stats.get("routes_reused", 0)) for p in points)
+    rerouted = sum(int(p.stats.get("segments_rerouted", 0)) for p in points)
+    print(f"router: engine={config.route_engine} "
+          f"routes_reused={reused} segments_rerouted={rerouted}",
+          file=sys.stderr)
     print(k_sweep_table(points, title=f"{network.name} K sweep "
                                       f"(die {floorplan.area:.0f} um2, "
                                       f"{floorplan.num_rows} rows)"))
@@ -128,7 +137,7 @@ def _cmd_ksweep(args: argparse.Namespace) -> int:
 def _cmd_sta(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018)
+    config = FlowConfig(library=CORELIB018, route_engine=args.route_engine)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     positions = place_base_network(base, floorplan)
@@ -186,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--workers", type=int, default=1,
                         help="process fan-out for parallel stages "
                              "(results are identical to --workers 1)")
+    p_flow.add_argument("--route-engine", default="vector",
+                        choices=["vector", "reference"],
+                        help="global-routing engine (reference = per-edge "
+                             "oracle; identical results, slower)")
+    p_flow.add_argument("--no-route-reuse", action="store_true",
+                        help="disable cross-K route warm-starting")
     p_flow.set_defaults(func=_cmd_flow)
 
     p_sweep = sub.add_parser("ksweep", help="Table 2/4-style K sweep")
@@ -196,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="map K points over N processes "
                               "(results are identical to --workers 1)")
+    p_sweep.add_argument("--route-engine", default="vector",
+                         choices=["vector", "reference"],
+                         help="global-routing engine (reference = per-edge "
+                              "oracle; identical results, slower)")
+    p_sweep.add_argument("--no-route-reuse", action="store_true",
+                         help="disable cross-K route warm-starting")
     p_sweep.set_defaults(func=_cmd_ksweep)
 
     p_sta = sub.add_parser("sta", help="map + place + route + timing report")
@@ -204,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sta.add_argument("--k", type=float, default=0.0)
     p_sta.add_argument("--paths", type=int, default=5,
                        help="how many worst endpoints to list")
+    p_sta.add_argument("--route-engine", default="vector",
+                       choices=["vector", "reference"])
     p_sta.set_defaults(func=_cmd_sta)
     return parser
 

@@ -32,7 +32,7 @@ from ..network.netlist import MappedNetlist
 from ..place.floorplan import Floorplan
 from ..place.placer import Placement, place_base_network, place_netlist
 from ..route.grid import RoutingResources
-from ..route.router import GlobalRouter, RoutingResult
+from ..route.router import VECTOR, GlobalRouter, RouteCache, RoutingResult
 from ..synth.optimize import optimize
 from ..timing.sta import StaticTimingAnalyzer, TimingReport
 from .mapper import MappingResult, map_network
@@ -54,6 +54,13 @@ class FlowConfig:
     ``workers`` is the default process fan-out for the parallel stages
     (K points of a sweep, placement attempts of an evaluation); 1 keeps
     everything serial.  Parallel runs are bit-identical to serial ones.
+
+    ``route_engine`` selects the global-routing implementation
+    (``"vector"`` — the numpy flat-edge engine — or ``"reference"``,
+    the per-edge oracle; both produce identical results).
+    ``route_reuse`` enables cross-K route warm-starting in the serial
+    sweep loops: nets whose pin GCell signature is unchanged between
+    adjacent K netlists start from the previous K's final route.
     """
 
     library: CellLibrary
@@ -65,6 +72,8 @@ class FlowConfig:
     seed: int = 0
     place_attempts: int = 1
     workers: int = 1
+    route_engine: str = VECTOR
+    route_reuse: bool = True
 
 
 @dataclass
@@ -96,9 +105,12 @@ def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
 
     Placement *and* routing seeds advance with the attempt index, so
     retries explore both RNG streams instead of re-rolling only the
-    placer against a frozen router.
+    placer against a frozen router (the router seed drives the
+    negotiation's victim ordering).  ``route_cache`` is read-only here:
+    every attempt warm-starts from the same cache snapshot, which keeps
+    parallel attempt fan-outs bit-identical to serial ones.
     """
-    netlist, floorplan, config, seed_positions, k, area = payload
+    netlist, floorplan, config, seed_positions, k, area, route_cache = payload
     seed = derive_seed(config.seed, attempt)
     t0 = time.perf_counter()
     placement = place_netlist(
@@ -110,10 +122,14 @@ def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
     router = GlobalRouter(floorplan, config.resources,
                           gcell_rows=config.gcell_rows,
                           max_iterations=config.max_route_iterations,
-                          seed=seed)
+                          seed=seed, engine=config.route_engine)
     t0 = time.perf_counter()
-    routing = router.route(placement.net_points(netlist))
+    points = placement.net_points(netlist)
+    routing = (router.route(points, cache=route_cache)
+               if route_cache is not None else router.route(points))
     t_route = time.perf_counter() - t0
+    stats = {"t_place": t_place, "t_route": t_route}
+    stats.update(routing.stats)
     return EvalPoint(
         k=k, cell_area=area, num_cells=netlist.num_cells(),
         utilization=floorplan.utilization(area),
@@ -123,7 +139,7 @@ def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
         hpwl=placement.hpwl(netlist),
         routable=routing.violations == 0,
         placement=placement, routing=routing,
-        stats={"t_place": t_place, "t_route": t_route})
+        stats=stats)
 
 
 def _select_best(points: Sequence[EvalPoint]) -> EvalPoint:
@@ -149,7 +165,8 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
                      config: FlowConfig,
                      seed_positions: Optional[Dict[str, Tuple[float, float]]]
                      = None, k: float = 0.0,
-                     workers: Optional[int] = None) -> EvalPoint:
+                     workers: Optional[int] = None,
+                     route_cache: Optional[RouteCache] = None) -> EvalPoint:
     """Place + globally route one netlist; summarise like a table row.
 
     Up to ``config.place_attempts`` placement seeds are tried and the
@@ -158,12 +175,17 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
     declaring a netlist unroutable.  With ``workers > 1`` (defaulting
     to ``config.workers``) the attempts fan out over a process pool;
     the selected point is identical to the serial path's.
+
+    ``route_cache`` warm-starts unchanged nets from a previous
+    evaluation's routes; all attempts read the same cache snapshot and
+    the cache is refreshed once from the selected point's routes.
     """
     t_start = time.perf_counter()
     area = netlist.total_area(config.library)
     attempts = max(1, config.place_attempts)
     nworkers = max(1, config.workers if workers is None else workers)
-    payload = (netlist, floorplan, config, seed_positions, k, area)
+    payload = (netlist, floorplan, config, seed_positions, k, area,
+               route_cache)
     if attempts > 1 and nworkers > 1:
         exec_stats: Dict[str, float] = {}
         points = fan_out(_placement_attempt, payload, range(attempts),
@@ -181,6 +203,8 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
             if best.violations == 0:
                 break
         assert best is not None
+    if route_cache is not None and best.routing is not None:
+        route_cache.store(best.routing)
     best.stats["t_eval"] = time.perf_counter() - t_start
     return best
 
@@ -188,12 +212,15 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
 def run_k_point(base: BaseNetwork, positions: PositionMap,
                 floorplan: Floorplan, config: FlowConfig,
                 k: float, partition: Optional[Partition] = None,
-                matcher: Optional[Matcher] = None) -> EvalPoint:
+                matcher: Optional[Matcher] = None,
+                route_cache: Optional[RouteCache] = None) -> EvalPoint:
     """Map the (already placed) base network at one K and evaluate it.
 
     ``partition`` and ``matcher`` are the K-independent products of the
     base network and its placement; sweeps compute them once and pass
-    them to every K point (see :func:`k_sweep`).
+    them to every K point (see :func:`k_sweep`).  ``route_cache``
+    carries routes between K points: nets whose pin GCell signature is
+    unchanged warm-start from the previous K's final route.
     """
     objective = area_congestion(k)
     t0 = time.perf_counter()
@@ -203,7 +230,8 @@ def run_k_point(base: BaseNetwork, positions: PositionMap,
                           partition=partition, matcher=matcher)
     t_map = time.perf_counter() - t0
     point = evaluate_netlist(mapping.netlist, floorplan, config,
-                             seed_positions=mapping.instance_positions, k=k)
+                             seed_positions=mapping.instance_positions, k=k,
+                             route_cache=route_cache)
     point.mapping = mapping
     point.stats["t_map"] = t_map
     for key in ("t_partition", "t_cover", "t_build",
@@ -252,6 +280,14 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
     ``workers`` (defaulting to ``config.workers``) fans the K points
     out over a process pool; the returned points are bit-identical to
     the serial path's (same ``EvalPoint.row()`` tuples, same order).
+
+    The serial path additionally threads a :class:`RouteCache` through
+    the K points when ``config.route_reuse`` is on: nets whose pin
+    GCell signature is unchanged between adjacent K netlists warm-start
+    from the previous K's final route, so the sweep stops paying full
+    routing cost at every K.  Parallel sweeps skip the cache (K points
+    route independently there), which keeps them bit-identical to
+    serial sweeps in the reported rows.
     """
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed)
@@ -268,9 +304,13 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
             if progress is not None:
                 progress(_progress_line(point))
         return points
+    matcher = Matcher(base, config.library)
+    route_cache = RouteCache() if config.route_reuse else None
     points: List[EvalPoint] = []
     for k in k_list:
-        point = _k_point_task(payload, k)
+        point = run_k_point(base, positions, floorplan, config, k,
+                            partition=part, matcher=matcher,
+                            route_cache=route_cache)
         points.append(point)
         if progress is not None:
             progress(_progress_line(point))
@@ -309,13 +349,16 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
         positions = place_base_network(base, floorplan, seed=config.seed)
     # The loop is inherently sequential (each K's verdict gates the
     # next), but the K-independent work — partition and match
-    # enumeration — is still hoisted out of it.
+    # enumeration — is still hoisted out of it, and routes of unchanged
+    # nets are carried between K points via the route cache.
     part = make_partition(base, config.partition_style, positions=positions)
     matcher = Matcher(base, config.library)
+    route_cache = RouteCache() if config.route_reuse else None
     history: List[EvalPoint] = []
     for k in k_schedule:
         point = run_k_point(base, positions, floorplan, config, k,
-                            partition=part, matcher=matcher)
+                            partition=part, matcher=matcher,
+                            route_cache=route_cache)
         history.append(point)
         if point.violations <= tolerance:
             return FlowResult(chosen=point, history=history, converged=True)

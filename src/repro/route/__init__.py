@@ -3,24 +3,39 @@
 from .congestion import CongestionStats, congestion_stats, render_congestion_map
 from .grid import GCell, HORIZONTAL, RoutingGrid, RoutingResources, VERTICAL
 from .maze import l_route_edges, maze_route
-from .router import GlobalRouter, NetRoute, RoutingResult
-from .steiner import hpwl_of_points, manhattan, mst_segments
+from .router import (
+    ENGINES,
+    REFERENCE,
+    VECTOR,
+    GlobalRouter,
+    NetRoute,
+    RouteCache,
+    RoutingResult,
+    victim_order,
+)
+from .steiner import gcell_signature, hpwl_of_points, manhattan, mst_segments
 
 __all__ = [
     "CongestionStats",
+    "ENGINES",
     "GCell",
     "GlobalRouter",
     "HORIZONTAL",
     "NetRoute",
+    "REFERENCE",
+    "RouteCache",
     "RoutingGrid",
     "RoutingResources",
     "RoutingResult",
+    "VECTOR",
     "VERTICAL",
     "congestion_stats",
+    "gcell_signature",
     "hpwl_of_points",
     "l_route_edges",
     "manhattan",
     "maze_route",
     "mst_segments",
     "render_congestion_map",
+    "victim_order",
 ]

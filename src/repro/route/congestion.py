@@ -13,7 +13,7 @@ from typing import List
 
 import numpy as np
 
-from .grid import HORIZONTAL, RoutingGrid, VERTICAL
+from .grid import RoutingGrid
 from .router import RoutingResult
 
 
@@ -38,10 +38,7 @@ def congestion_stats(result: RoutingResult,
                      hot_threshold: float = 0.9) -> CongestionStats:
     """Compute summary statistics from a routing result."""
     grid = result.grid
-    utils: List[float] = []
-    for direction, cap in ((HORIZONTAL, grid.hcap), (VERTICAL, grid.vcap)):
-        utils.append(grid.demand[direction].astype(float).ravel() / cap)
-    all_util = np.concatenate(utils)
+    all_util = grid.demand_flat.astype(float) / grid.capacity_flat
     return CongestionStats(
         violations=result.violations,
         overflowed_nets=result.overflowed_nets,

@@ -62,6 +62,12 @@ class RoutingGrid:
 
     Horizontal edges connect (x, y) to (x+1, y) — they consume
     horizontal tracks; vertical edges connect (x, y) to (x, y+1).
+
+    Every edge also has a **flat id**: horizontal edge (ex, ey) maps to
+    ``ex * ny + ey`` and vertical edge (ex, ey) to
+    ``num_h_edges + ex * (ny - 1) + ey``.  ``demand``/``history`` are
+    C-order views of the flat arrays, so per-edge tuple code and the
+    vectorized engine share one set of books.
     """
 
     def __init__(self, floorplan: Floorplan, resources: RoutingResources,
@@ -78,11 +84,22 @@ class RoutingGrid:
                                * h_share * resources.derate))
         self.vcap = max(1, int(self.gw / resources.track_pitch
                                * v_share * resources.derate))
+        self.num_h_edges = (self.nx - 1) * self.ny
+        self.num_v_edges = self.nx * (self.ny - 1)
+        self.num_edges = self.num_h_edges + self.num_v_edges
+        self.demand_flat = np.zeros(self.num_edges, dtype=np.int32)
+        self.history_flat = np.zeros(self.num_edges, dtype=np.float64)
         # demand[HORIZONTAL]: (nx-1, ny); demand[VERTICAL]: (nx, ny-1)
-        self.demand = [np.zeros((self.nx - 1, self.ny), dtype=np.int32),
-                       np.zeros((self.nx, self.ny - 1), dtype=np.int32)]
-        self.history = [np.zeros((self.nx - 1, self.ny), dtype=np.float64),
-                        np.zeros((self.nx, self.ny - 1), dtype=np.float64)]
+        # — views of the flat arrays (writes through either are shared).
+        self.demand = [
+            self.demand_flat[:self.num_h_edges].reshape(self.nx - 1, self.ny),
+            self.demand_flat[self.num_h_edges:].reshape(self.nx, self.ny - 1)]
+        self.history = [
+            self.history_flat[:self.num_h_edges].reshape(self.nx - 1, self.ny),
+            self.history_flat[self.num_h_edges:].reshape(self.nx, self.ny - 1)]
+        self.capacity_flat = np.empty(self.num_edges, dtype=np.int32)
+        self.capacity_flat[:self.num_h_edges] = self.hcap
+        self.capacity_flat[self.num_h_edges:] = self.vcap
 
     # -- coordinate mapping -----------------------------------------------
 
@@ -115,6 +132,41 @@ class RoutingGrid:
         """Physical length (µm) represented by one edge crossing."""
         return self.gw if direction == HORIZONTAL else self.gh
 
+    # -- flat edge ids --------------------------------------------------
+
+    def edge_id(self, direction: int, ex: int, ey: int) -> int:
+        """Flat id of one edge."""
+        if direction == HORIZONTAL:
+            return ex * self.ny + ey
+        return self.num_h_edges + ex * (self.ny - 1) + ey
+
+    def edge_ids(self, edges: Iterable[Tuple[int, int, int]]) -> np.ndarray:
+        """Flat ids of a sequence of (direction, ex, ey) edges."""
+        edges = list(edges)
+        if not edges:
+            return np.empty(0, dtype=np.int64)
+        arr = np.asarray(edges, dtype=np.int64)
+        horizontal = arr[:, 0] == HORIZONTAL
+        ids = np.where(horizontal,
+                       arr[:, 1] * self.ny + arr[:, 2],
+                       self.num_h_edges + arr[:, 1] * (self.ny - 1)
+                       + arr[:, 2])
+        return ids
+
+    def decode_edge_ids(self, ids: np.ndarray) -> List[Tuple[int, int, int]]:
+        """(direction, ex, ey) tuples of a flat-id array."""
+        ids = np.asarray(ids, dtype=np.int64)
+        horizontal = ids < self.num_h_edges
+        vid = ids - self.num_h_edges
+        ex = np.where(horizontal, ids // self.ny, vid // (self.ny - 1))
+        ey = np.where(horizontal, ids % self.ny, vid % (self.ny - 1))
+        direction = np.where(horizontal, HORIZONTAL, VERTICAL)
+        return list(zip(direction.tolist(), ex.tolist(), ey.tolist()))
+
+    def add_demand_ids(self, ids: np.ndarray, amount: int = 1) -> None:
+        """Adjust demand on a flat-id array (ids may repeat)."""
+        np.add.at(self.demand_flat, ids, amount)
+
     def add_demand(self, edges: Iterable[Tuple[int, int, int]],
                    amount: int = 1) -> None:
         """Adjust demand on a set of edges."""
@@ -123,15 +175,16 @@ class RoutingGrid:
 
     def overflow_total(self) -> int:
         """Total demand above capacity (the routing-violation proxy)."""
-        over_h = np.maximum(self.demand[HORIZONTAL] - self.hcap, 0).sum()
-        over_v = np.maximum(self.demand[VERTICAL] - self.vcap, 0).sum()
-        return int(over_h + over_v)
+        return int(np.maximum(self.demand_flat - self.capacity_flat, 0).sum())
 
     def overflow_max(self) -> int:
         """Worst single-edge overflow."""
-        over_h = np.maximum(self.demand[HORIZONTAL] - self.hcap, 0)
-        over_v = np.maximum(self.demand[VERTICAL] - self.vcap, 0)
-        return int(max(over_h.max(initial=0), over_v.max(initial=0)))
+        over = self.demand_flat - self.capacity_flat
+        return int(max(over.max(initial=0), 0))
+
+    def overflowed_edge_ids(self) -> np.ndarray:
+        """Flat ids (ascending) of edges whose demand exceeds capacity."""
+        return np.nonzero(self.demand_flat > self.capacity_flat)[0]
 
     def overflowed_edges(self) -> List[Tuple[int, int, int]]:
         """All edges whose demand exceeds capacity."""

@@ -1,16 +1,32 @@
 """Congestion-aware maze routing (PathFinder-style cost).
 
-A* search over the GCell graph for one two-pin connection.  Edge cost
-combines a unit base cost, a present-congestion penalty and accumulated
-history, which is the negotiation mechanism that lets the rip-up-and-
-reroute loop converge on routable designs and expose true overflow on
-unroutable ones.
+Shortest-path search over the GCell graph for one two-pin connection.
+Edge cost combines a unit base cost, a present-congestion penalty and
+accumulated history, which is the negotiation mechanism that lets the
+rip-up-and-reroute loop converge on routable designs and expose true
+overflow on unroutable ones.
+
+The search is split into two phases so the two router engines can share
+exact decisions:
+
+1. a **distance field** over the search window — per-edge Dijkstra here
+   (the reference engine's rendition), vectorized sweep relaxation in
+   :mod:`repro.route.router` — and
+2. a **canonical backtrack** (:func:`backtrack_path`) that walks from
+   the target to the source choosing, at every step, the first neighbor
+   in a fixed scan order whose distance plus edge cost equals the
+   current cell's distance.
+
+Because every edge cost is an exactly-representable float64 (unit base,
+integer history, penalty x integer overflow), both engines compute
+bit-identical distance fields, and the shared backtrack then yields
+bit-identical paths.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from .grid import GCell, HORIZONTAL, RoutingGrid, VERTICAL
 
@@ -20,6 +36,8 @@ OVERFLOW_PENALTY = 8.0
 HISTORY_WEIGHT = 1.0
 #: Bounding-box margin (in GCells) around the two pins.
 BBOX_MARGIN = 6
+
+Window = Tuple[int, int, int, int]
 
 
 def edge_cost(grid: RoutingGrid, direction: int, ex: int, ey: int,
@@ -33,24 +51,101 @@ def edge_cost(grid: RoutingGrid, direction: int, ex: int, ey: int,
     return cost
 
 
-def maze_route(grid: RoutingGrid, source: GCell, target: GCell,
-               margin: int = BBOX_MARGIN,
-               overflow_penalty: float = OVERFLOW_PENALTY
-               ) -> List[Tuple[int, int, int]]:
-    """A* route between two GCells; returns the list of edges used.
+def maze_window(grid: RoutingGrid, source: GCell, target: GCell,
+                margin: int) -> Window:
+    """The clipped search window (x_lo, x_hi, y_lo, y_hi), inclusive.
 
-    The search is restricted to the pin bounding box plus ``margin``
-    GCells of detour room (detours are exactly the wire meandering the
-    paper attributes congestion-induced delay to).
+    The window is the pin bounding box plus ``margin`` GCells of detour
+    room (detours are exactly the wire meandering the paper attributes
+    congestion-induced delay to).
     """
-    if source == target:
-        return []
     x_lo = max(0, min(source[0], target[0]) - margin)
     x_hi = min(grid.nx - 1, max(source[0], target[0]) + margin)
     y_lo = max(0, min(source[1], target[1]) - margin)
     y_hi = min(grid.ny - 1, max(source[1], target[1]) + margin)
+    return x_lo, x_hi, y_lo, y_hi
 
-    tx, ty = target
+
+def window_contains(window: Window, cell: GCell) -> bool:
+    """Whether a GCell lies inside a search window."""
+    x_lo, x_hi, y_lo, y_hi = window
+    return x_lo <= cell[0] <= x_hi and y_lo <= cell[1] <= y_hi
+
+
+def l_fallback(grid: RoutingGrid, source: GCell, target: GCell,
+               overflow_penalty: float) -> List[Tuple[int, int, int]]:
+    """Deterministic fallback when the window search cannot connect.
+
+    Returns the cheaper of the two L-shapes under the same congestion
+    cost the search optimises (tie keeps horizontal-first).  An L
+    between the pins never leaves the pin bounding box, so the fallback
+    stays inside any window that contains both pins.
+    """
+    first = l_route_edges(source, target, horizontal_first=True)
+    second = l_route_edges(source, target, horizontal_first=False)
+    if first == second:
+        return first
+    cost_first = sum(edge_cost(grid, *e, overflow_penalty=overflow_penalty)
+                     for e in first)
+    cost_second = sum(edge_cost(grid, *e, overflow_penalty=overflow_penalty)
+                      for e in second)
+    return first if cost_first <= cost_second else second
+
+
+def backtrack_path(dist_of: Callable[[GCell], float],
+                   cost_of: Callable[[int, int, int], float],
+                   window: Window, source: GCell, target: GCell
+                   ) -> List[Tuple[int, int, int]]:
+    """Canonical walk from target to source over a distance field.
+
+    At each cell the neighbors are scanned in a fixed order (left,
+    right, down, up); the first one whose distance plus the connecting
+    edge's cost **exactly equals** the cell's distance is taken.  With
+    exact distances the equality always holds for at least one neighbor
+    of every reachable cell, and the fixed order makes the chosen path
+    unique — independent of how the distance field was computed.
+    """
+    edges: List[Tuple[int, int, int]] = []
+    cell = target
+    while cell != source:
+        cx, cy = cell
+        d = dist_of(cell)
+        for nxt, direction, ex, ey in (
+                ((cx - 1, cy), HORIZONTAL, cx - 1, cy),
+                ((cx + 1, cy), HORIZONTAL, cx, cy),
+                ((cx, cy - 1), VERTICAL, cx, cy - 1),
+                ((cx, cy + 1), VERTICAL, cx, cy)):
+            if not window_contains(window, nxt):
+                continue
+            if dist_of(nxt) + cost_of(direction, ex, ey) == d:
+                edges.append((direction, ex, ey))
+                cell = nxt
+                break
+        else:  # pragma: no cover - impossible for an exact field
+            raise AssertionError(f"inconsistent distance field at {cell}")
+    edges.reverse()
+    return edges
+
+
+def maze_route(grid: RoutingGrid, source: GCell, target: GCell,
+               margin: int = BBOX_MARGIN,
+               overflow_penalty: float = OVERFLOW_PENALTY
+               ) -> List[Tuple[int, int, int]]:
+    """Shortest congestion-cost route between two GCells (edge tuples).
+
+    Runs Dijkstra to exhaustion over the search window (so every cell's
+    distance is final), then reconstructs the path with the canonical
+    backtrack.  Falls back to the cheaper L-shape when the window
+    cannot connect the pins (degenerate or inverted windows).
+    """
+    if source == target:
+        return []
+    window = maze_window(grid, source, target, margin)
+    if not (window_contains(window, source)
+            and window_contains(window, target)):
+        return l_fallback(grid, source, target, overflow_penalty)
+    x_lo, x_hi, y_lo, y_hi = window
+
     # Hot loop: hoist array and scalar lookups out of the search.
     demand_h = grid.demand[HORIZONTAL]
     demand_v = grid.demand[VERTICAL]
@@ -61,15 +156,11 @@ def maze_route(grid: RoutingGrid, source: GCell, target: GCell,
     inf = float("inf")
 
     best: Dict[GCell, float] = {source: 0.0}
-    parent: Dict[GCell, GCell] = {}
-    heap: List[Tuple[float, float, GCell]] = [
-        (abs(source[0] - tx) + abs(source[1] - ty), 0.0, source)]
+    heap: List[Tuple[float, GCell]] = [(0.0, source)]
     push = heapq.heappush
     pop = heapq.heappop
     while heap:
-        _, g, cell = pop(heap)
-        if cell == target:
-            break
+        g, cell = pop(heap)
         if g > best.get(cell, inf):
             continue
         cx, cy = cell
@@ -94,26 +185,14 @@ def maze_route(grid: RoutingGrid, source: GCell, target: GCell,
             ng = g + cost
             if ng < best.get(nxt, inf):
                 best[nxt] = ng
-                parent[nxt] = cell
-                push(heap, (ng + abs(nx - tx) + abs(ny - ty), ng, nxt))
-    if target not in parent and source != target:
-        # Unreachable inside the window (cannot happen with a positive
-        # margin, but guard anyway): fall back to an L-shape.
-        return l_route_edges(source, target)
-    edges: List[Tuple[int, int, int]] = []
-    cell = target
-    while cell != source:
-        prev = parent[cell]
-        edges.append(_edge_of(prev, cell))
-        cell = prev
-    edges.reverse()
-    return edges
-
-
-def _edge_of(a: GCell, b: GCell) -> Tuple[int, int, int]:
-    if a[1] == b[1]:
-        return (HORIZONTAL, min(a[0], b[0]), a[1])
-    return (VERTICAL, a[0], min(a[1], b[1]))
+                push(heap, (ng, nxt))
+    if best.get(target, inf) == inf:
+        return l_fallback(grid, source, target, overflow_penalty)
+    return backtrack_path(
+        lambda cell: best.get(cell, inf),
+        lambda direction, ex, ey: edge_cost(
+            grid, direction, ex, ey, overflow_penalty=overflow_penalty),
+        window, source, target)
 
 
 def l_route_edges(source: GCell, target: GCell,

@@ -212,3 +212,38 @@ class TestPlaceAttemptSeeds:
                          max_route_iterations=2)
         flow_mod.evaluate_netlist(mapping.netlist, floorplan, cfg)
         assert seeds == [11, 12, 13]
+
+
+class TestCrossKRouteReuse:
+    """Cross-K warm-starting must be a pure speedup: bit-identical
+    sweep rows and wirelength versus routing every point cold."""
+
+    K_VALUES = [0.0, 0.001, 0.01]
+
+    def test_three_point_sweep_matches_cold(self, flow_setup):
+        from dataclasses import replace
+
+        base, config, floorplan, positions = flow_setup
+        warm_cfg = replace(config, route_reuse=True)
+        cold_cfg = replace(config, route_reuse=False)
+        warm = k_sweep(base, floorplan, warm_cfg, k_values=self.K_VALUES,
+                       positions=positions)
+        cold = k_sweep(base, floorplan, cold_cfg, k_values=self.K_VALUES,
+                       positions=positions)
+        assert [p.row() for p in warm] == [p.row() for p in cold]
+        assert [p.routed_wirelength for p in warm] == \
+            [p.routed_wirelength for p in cold]
+        # The first K point seeds the cache; later points draw from it.
+        reused = [p.stats["routes_reused"] for p in warm]
+        assert reused[0] == 0
+        assert sum(reused[1:]) > 0
+        assert all(p.stats["routes_reused"] == 0 for p in cold)
+
+    def test_router_phase_stats_reach_eval_point(self, flow_setup):
+        base, config, floorplan, positions = flow_setup
+        point = run_k_point(base, positions, floorplan, config, 0.0)
+        for key in ("t_init_route", "t_negotiate", "nets_rerouted",
+                    "segments_rerouted", "routes_reused"):
+            assert key in point.stats
+        assert point.stats["t_init_route"] >= 0.0
+        assert point.stats["t_negotiate"] >= 0.0

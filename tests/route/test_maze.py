@@ -91,3 +91,41 @@ class TestMazeRoute:
         edges = maze_route(grid, (0, 0), (4, 0))
         assert route_is_connected(edges, (0, 0), (4, 0))
         assert not any(d == HORIZONTAL and ey == 0 for d, _, ey in edges)
+
+
+class TestMazeFallback:
+    """Regressions for degenerate windows and unreachable targets."""
+
+    def test_source_equals_target_zero_margin(self, grid):
+        assert maze_route(grid, (3, 3), (3, 3), margin=0) == []
+
+    def test_zero_margin_straight_line(self, grid):
+        # A margin-0 window around a straight pair is a 1-cell-high
+        # corridor; the route must stay inside it and still connect.
+        edges = maze_route(grid, (0, 4), (5, 4), margin=0)
+        assert route_is_connected(edges, (0, 4), (5, 4))
+        assert len(edges) == 5
+        assert all(d == HORIZONTAL and ey == 4 for d, _, ey in edges)
+
+    def test_zero_margin_l_pair(self, grid):
+        edges = maze_route(grid, (1, 1), (4, 6), margin=0)
+        assert route_is_connected(edges, (1, 1), (4, 6))
+        assert len(edges) == 8  # Manhattan distance within the bbox
+
+    def test_unreachable_target_falls_back_to_l(self, grid):
+        # A negative margin shrinks the search window until the heap
+        # exhausts before reaching the target; the fallback must still
+        # return a connected route (the cheaper of the two Ls).
+        edges = maze_route(grid, (0, 0), (5, 5), margin=-1)
+        assert route_is_connected(edges, (0, 0), (5, 5))
+        assert len(edges) == 10
+
+    def test_fallback_picks_cheaper_l(self, grid):
+        # Saturate the horizontal-first L's first row so the fallback
+        # must prefer the vertical-first alternative.
+        for x in range(5):
+            grid.demand[HORIZONTAL][x, 0] = grid.hcap + 50
+        edges = maze_route(grid, (0, 0), (5, 5), margin=-1)
+        assert route_is_connected(edges, (0, 0), (5, 5))
+        assert (VERTICAL, 0, 0) in edges
+        assert (HORIZONTAL, 0, 0) not in edges
