@@ -17,6 +17,7 @@ import pytest
 from conftest import ROUTABLE_TOLERANCE, publish
 from repro.core import congestion_aware_flow
 from repro.io import format_table
+from repro.obs import Tracer, profile_report
 
 K_SCHEDULE = [0.0, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
               0.01, 0.05]
@@ -26,10 +27,12 @@ _cache = {}
 
 def run_flow(spla_setup):
     if "result" not in _cache:
+        tracer = Tracer("run", command="bench_flow")
         _cache["result"] = congestion_aware_flow(
             spla_setup.base, spla_setup.floorplan, spla_setup.config,
             k_schedule=K_SCHEDULE, positions=spla_setup.positions,
-            tolerance=ROUTABLE_TOLERANCE)
+            tolerance=ROUTABLE_TOLERANCE, tracer=tracer)
+        _cache["trace"] = tracer.close()
     return _cache["result"]
 
 
@@ -51,6 +54,7 @@ def test_figure3_flow(benchmark, spla_setup):
                f"(die {spla_setup.floorplan.area:.0f} um2, "
                f"{spla_setup.floorplan.num_rows} rows)"))
     publish("figure3_flow", table)
+    publish("figure3_profile", profile_report(_cache["trace"]))
 
     assert result.converged, "the flow must converge on the marginal die"
     assert result.chosen_k > 0.0, \

@@ -150,8 +150,8 @@ def run_sweep_modes(config):
                              for p in serial),
         "segments_rerouted": sum(p.stats.get("segments_rerouted", 0)
                                  for p in serial),
-        "t_route_serial": sum(p.stats.get("t_init_route", 0.0) +
-                              p.stats.get("t_negotiate", 0.0)
+        "t_route_serial": sum(p.stats.get("route.t_init", 0.0) +
+                              p.stats.get("route.t_negotiate", 0.0)
                               for p in serial),
     }
 
@@ -248,10 +248,10 @@ def run_routing_engines(config):
             "t_vector": times["vector"],
             "t_reference": times["reference"],
             "speedup": times["reference"] / max(times["vector"], 1e-9),
-            "t_init_route": vec.stats["t_init_route"],
-            "t_negotiate": vec.stats["t_negotiate"],
-            "nets_rerouted": vec.stats["nets_rerouted"],
-            "segments_rerouted": vec.stats["segments_rerouted"],
+            "t_init_route": vec.stats["route.t_init"],
+            "t_negotiate": vec.stats["route.t_negotiate"],
+            "nets_rerouted": vec.stats["route.nets_rerouted"],
+            "segments_rerouted": vec.stats["route.segments_rerouted"],
         })
     return rows
 

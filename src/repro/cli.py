@@ -6,8 +6,14 @@ Subcommands
 ``synth``   — technology-independent optimization (BLIF in/out),
 ``map``     — technology mapping (BLIF in, Verilog out),
 ``flow``    — the paper's Figure 3 congestion-aware flow on a benchmark,
-``ksweep``  — print a Table 2/4-style K sweep,
+``ksweep``  — print a Table 2/4-style K sweep (alias: ``sweep``),
 ``sta``     — map, place, route and time a circuit; print the critical path.
+
+``flow`` and ``ksweep`` take the shared observability flags: ``--trace
+FILE`` writes the run's span tree as JSON lines, ``--profile`` prints a
+per-phase time/counter breakdown after the run, and ``--artifacts DIR``
+dumps one congestion heatmap (CSV + ASCII) per evaluated K point
+(defaulting to ``<trace>.artifacts`` when ``--trace`` is given).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from .core import (
 from .io import dump_blif, dump_verilog, k_sweep_table, parse_blif
 from .library import CORELIB018
 from .network import decompose
+from .obs import Tracer, profile_report, write_congestion_artifacts
 from .place import Floorplan, place_base_network
 from .synth import optimize
 
@@ -91,6 +98,32 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer(args: argparse.Namespace, command: str) -> Optional[Tracer]:
+    """A run tracer when any observability flag asks for one."""
+    if not (args.trace or args.profile):
+        return None
+    return Tracer("run", command=command, source=args.source)
+
+
+def _emit_observability(args: argparse.Namespace, tracer: Optional[Tracer],
+                        points) -> None:
+    """Write trace / artifacts and print the profile, as requested."""
+    artifacts_dir = args.artifacts or \
+        (args.trace + ".artifacts" if args.trace else "")
+    if artifacts_dir:
+        paths = write_congestion_artifacts(points, artifacts_dir)
+        print(f"artifacts: {len(paths)} congestion files -> {artifacts_dir}",
+              file=sys.stderr)
+    if tracer is None:
+        return
+    root = tracer.close()
+    if args.trace:
+        lines = tracer.write_jsonl(args.trace)
+        print(f"trace: {lines} events -> {args.trace}", file=sys.stderr)
+    if args.profile:
+        print(profile_report(root))
+
+
 def _cmd_flow(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
@@ -99,11 +132,13 @@ def _cmd_flow(args: argparse.Namespace) -> int:
                         route_reuse=not args.no_route_reuse)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
+    tracer = _make_tracer(args, "flow")
     result = congestion_aware_flow(base, floorplan, config,
-                                   tolerance=args.tolerance)
+                                   tolerance=args.tolerance, tracer=tracer)
     for point in result.history:
         print(f"K={point.k:g}: area={point.cell_area:.0f} "
               f"util={point.utilization:.1f}% violations={point.violations}")
+    _emit_observability(args, tracer, result.history)
     if result.converged:
         print(f"converged at K={result.chosen_k:g}")
         return 0
@@ -121,16 +156,20 @@ def _cmd_ksweep(args: argparse.Namespace) -> int:
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     k_values = [float(k) for k in args.k.split(",")] if args.k \
         else list(PAPER_K_VALUES)
+    tracer = _make_tracer(args, "ksweep")
     points = k_sweep(base, floorplan, config, k_values=k_values,
-                     progress=lambda msg: print(msg, file=sys.stderr))
-    reused = sum(int(p.stats.get("routes_reused", 0)) for p in points)
-    rerouted = sum(int(p.stats.get("segments_rerouted", 0)) for p in points)
+                     progress=lambda msg: print(msg, file=sys.stderr),
+                     tracer=tracer)
+    reused = sum(int(p.stats.get("route.routes_reused", 0)) for p in points)
+    rerouted = sum(int(p.stats.get("route.segments_rerouted", 0))
+                   for p in points)
     print(f"router: engine={config.route_engine} "
           f"routes_reused={reused} segments_rerouted={rerouted}",
           file=sys.stderr)
     print(k_sweep_table(points, title=f"{network.name} K sweep "
                                       f"(die {floorplan.area:.0f} um2, "
                                       f"{floorplan.num_rows} rows)"))
+    _emit_observability(args, tracer, points)
     return 0
 
 
@@ -158,6 +197,19 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     for po, arrival in worst:
         print(f"  {po:<12s} {arrival:8.3f} ns")
     return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of ``flow`` and ``ksweep``."""
+    parser.add_argument("--trace", metavar="FILE", default="",
+                        help="write the run's span tree as JSON lines")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase time/counter breakdown "
+                             "after the run")
+    parser.add_argument("--artifacts", metavar="DIR", default="",
+                        help="write per-K congestion heatmaps (CSV + "
+                             "ASCII); defaults to <trace>.artifacts when "
+                             "--trace is given")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,9 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "oracle; identical results, slower)")
     p_flow.add_argument("--no-route-reuse", action="store_true",
                         help="disable cross-K route warm-starting")
+    _add_obs_flags(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
-    p_sweep = sub.add_parser("ksweep", help="Table 2/4-style K sweep")
+    p_sweep = sub.add_parser("ksweep", aliases=["sweep"],
+                             help="Table 2/4-style K sweep")
     p_sweep.add_argument("source")
     p_sweep.add_argument("--rows", type=int, default=0)
     p_sweep.add_argument("--k", default="",
@@ -217,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "oracle; identical results, slower)")
     p_sweep.add_argument("--no-route-reuse", action="store_true",
                          help="disable cross-K route warm-starting")
+    _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_ksweep)
 
     p_sta = sub.add_parser("sta", help="map + place + route + timing report")

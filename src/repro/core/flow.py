@@ -18,13 +18,14 @@ This module glues the substrates into the experiments the paper runs:
 
 from __future__ import annotations
 
-import time
+import contextlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PlacementError, ReproError
 from ..exec import derive_seed, fan_out
 from ..library.cell import CellLibrary
+from ..obs import Span, StatsRegistry, Tracer
 from ..network.boolnet import BooleanNetwork
 from ..network.dag import BaseNetwork
 from ..network.decompose import decompose
@@ -92,7 +93,14 @@ class EvalPoint:
     mapping: Optional[MappingResult] = None
     placement: Optional[Placement] = None
     routing: Optional[RoutingResult] = None
-    stats: Dict[str, float] = field(default_factory=dict)
+    #: Namespaced flow counters: ``eval.*`` wall-times plus the
+    #: absorbed ``map.*`` / ``route.*`` / ``exec.*`` registries of the
+    #: point's phases (duplicate keys raise instead of overwriting).
+    stats: StatsRegistry = field(default_factory=StatsRegistry)
+    #: The point's span subtree (k_point → map / evaluate → attempt →
+    #: place / route), built identically on the serial and the
+    #: process-pool paths; sweeps adopt it into the run's trace.
+    trace: Optional[Span] = None
 
     def row(self) -> Tuple[float, float, int, float, int]:
         """(K, cell area, #cells, utilization %, violations)."""
@@ -112,24 +120,26 @@ def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
     """
     netlist, floorplan, config, seed_positions, k, area, route_cache = payload
     seed = derive_seed(config.seed, attempt)
-    t0 = time.perf_counter()
-    placement = place_netlist(
-        netlist, config.library, floorplan,
-        seed_positions=(seed_positions if config.use_seed_positions
-                        else None),
-        seed=seed)
-    t_place = time.perf_counter() - t0
+    tracer = Tracer("attempt", attempt=attempt)
+    with tracer.span("place") as sp_place:
+        placement = place_netlist(
+            netlist, config.library, floorplan,
+            seed_positions=(seed_positions if config.use_seed_positions
+                            else None),
+            seed=seed)
     router = GlobalRouter(floorplan, config.resources,
                           gcell_rows=config.gcell_rows,
                           max_iterations=config.max_route_iterations,
                           seed=seed, engine=config.route_engine)
-    t0 = time.perf_counter()
-    points = placement.net_points(netlist)
-    routing = (router.route(points, cache=route_cache)
-               if route_cache is not None else router.route(points))
-    t_route = time.perf_counter() - t0
-    stats = {"t_place": t_place, "t_route": t_route}
-    stats.update(routing.stats)
+    with tracer.span("route") as sp_route:
+        points = placement.net_points(netlist)
+        routing = (router.route(points, cache=route_cache)
+                   if route_cache is not None else router.route(points))
+    sp_route.counters.absorb(routing.stats)
+    stats = StatsRegistry()
+    stats.time("eval.t_place", sp_place.duration)
+    stats.time("eval.t_route", sp_route.duration)
+    stats.absorb(routing.stats)
     return EvalPoint(
         k=k, cell_area=area, num_cells=netlist.num_cells(),
         utilization=floorplan.utilization(area),
@@ -139,7 +149,7 @@ def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
         hpwl=placement.hpwl(netlist),
         routable=routing.violations == 0,
         placement=placement, routing=routing,
-        stats=stats)
+        stats=stats, trace=tracer.close())
 
 
 def _select_best(points: Sequence[EvalPoint]) -> EvalPoint:
@@ -179,19 +189,24 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
     ``route_cache`` warm-starts unchanged nets from a previous
     evaluation's routes; all attempts read the same cache snapshot and
     the cache is refreshed once from the selected point's routes.
+
+    The returned point's :attr:`EvalPoint.trace` is an ``evaluate``
+    span wrapping the *selected* attempt's span — only the chosen
+    attempt is kept, so serial early-exit and parallel
+    run-all-attempts produce identical span trees.
     """
-    t_start = time.perf_counter()
+    tracer = Tracer("evaluate", k=k)
     area = netlist.total_area(config.library)
     attempts = max(1, config.place_attempts)
     nworkers = max(1, config.workers if workers is None else workers)
     payload = (netlist, floorplan, config, seed_positions, k, area,
                route_cache)
     if attempts > 1 and nworkers > 1:
-        exec_stats: Dict[str, float] = {}
+        exec_stats = StatsRegistry()
         points = fan_out(_placement_attempt, payload, range(attempts),
                          workers=nworkers, stats=exec_stats)
         best = _select_best(points)
-        best.stats.update(exec_stats)
+        best.stats.merge(exec_stats)
     else:
         best = None
         for attempt in range(attempts):
@@ -205,7 +220,9 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
         assert best is not None
     if route_cache is not None and best.routing is not None:
         route_cache.store(best.routing)
-    best.stats["t_eval"] = time.perf_counter() - t_start
+    tracer.adopt(best.trace)
+    best.trace = tracer.close()
+    best.stats.time("eval.t_total", best.trace.duration)
     return best
 
 
@@ -223,20 +240,21 @@ def run_k_point(base: BaseNetwork, positions: PositionMap,
     unchanged warm-start from the previous K's final route.
     """
     objective = area_congestion(k)
-    t0 = time.perf_counter()
-    mapping = map_network(base, config.library, objective,
-                          partition_style=config.partition_style,
-                          positions=positions,
-                          partition=partition, matcher=matcher)
-    t_map = time.perf_counter() - t0
+    tracer = Tracer("k_point", k=k)
+    with tracer.span("map") as sp_map:
+        mapping = map_network(base, config.library, objective,
+                              partition_style=config.partition_style,
+                              positions=positions,
+                              partition=partition, matcher=matcher)
+    sp_map.counters.absorb(mapping.stats)
     point = evaluate_netlist(mapping.netlist, floorplan, config,
                              seed_positions=mapping.instance_positions, k=k,
                              route_cache=route_cache)
     point.mapping = mapping
-    point.stats["t_map"] = t_map
-    for key in ("t_partition", "t_cover", "t_build",
-                "match_cache_hits", "match_cache_misses"):
-        point.stats[key] = mapping.stats[key]
+    point.stats.time("map.t_total", sp_map.duration)
+    point.stats.absorb(mapping.stats)
+    tracer.adopt(point.trace)
+    point.trace = tracer.close()
     return point
 
 
@@ -267,7 +285,8 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
             k_values: Sequence[float] = PAPER_K_VALUES,
             positions: Optional[PositionMap] = None,
             progress: Optional[Callable[[str], None]] = None,
-            workers: Optional[int] = None) -> List[EvalPoint]:
+            workers: Optional[int] = None,
+            tracer: Optional[Tracer] = None) -> List[EvalPoint]:
     """The Table 2/4 experiment: one mapping + evaluation per K.
 
     The technology-independent placement is computed once and re-used
@@ -288,6 +307,10 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
     routing cost at every K.  Parallel sweeps skip the cache (K points
     route independently there), which keeps them bit-identical to
     serial sweeps in the reported rows.
+
+    ``tracer``, when given, receives one ``sweep`` span whose children
+    are the K points' subtrees, adopted in K order on both execution
+    paths.
     """
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed)
@@ -295,26 +318,35 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
     part = make_partition(base, config.partition_style, positions=positions)
     payload = (base, positions, floorplan, config, part)
     k_list = list(k_values)
-    if nworkers > 1 and len(k_list) > 1:
-        exec_stats: Dict[str, float] = {}
-        points = fan_out(_k_point_task, payload, k_list,
-                         workers=nworkers, stats=exec_stats)
-        for point in points:
-            point.stats.update(exec_stats)
+    span_cm = (tracer.span("sweep", points=len(k_list))
+               if tracer is not None else contextlib.nullcontext())
+    with span_cm as sweep_span:
+        if nworkers > 1 and len(k_list) > 1:
+            exec_stats = StatsRegistry()
+            points = fan_out(_k_point_task, payload, k_list,
+                             workers=nworkers, stats=exec_stats)
+            for point in points:
+                point.stats.merge(exec_stats)
+                if tracer is not None:
+                    tracer.adopt(point.trace)
+                if progress is not None:
+                    progress(_progress_line(point))
+            if sweep_span is not None:
+                sweep_span.counters.merge(exec_stats)
+            return points
+        matcher = Matcher(base, config.library)
+        route_cache = RouteCache() if config.route_reuse else None
+        points: List[EvalPoint] = []
+        for k in k_list:
+            point = run_k_point(base, positions, floorplan, config, k,
+                                partition=part, matcher=matcher,
+                                route_cache=route_cache)
+            points.append(point)
+            if tracer is not None:
+                tracer.adopt(point.trace)
             if progress is not None:
                 progress(_progress_line(point))
         return points
-    matcher = Matcher(base, config.library)
-    route_cache = RouteCache() if config.route_reuse else None
-    points: List[EvalPoint] = []
-    for k in k_list:
-        point = run_k_point(base, positions, floorplan, config, k,
-                            partition=part, matcher=matcher,
-                            route_cache=route_cache)
-        points.append(point)
-        if progress is not None:
-            progress(_progress_line(point))
-    return points
 
 
 @dataclass
@@ -335,7 +367,8 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
                           config: FlowConfig,
                           k_schedule: Sequence[float] = PAPER_K_VALUES,
                           positions: Optional[PositionMap] = None,
-                          tolerance: int = 0) -> FlowResult:
+                          tolerance: int = 0,
+                          tracer: Optional[Tracer] = None) -> FlowResult:
     """The modified ASIC design flow of Figure 3.
 
     Place the technology-independent netlist once; map with K = 0;
@@ -344,6 +377,9 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
     loop is cheap relative to re-synthesis).  Stops at the first
     acceptable map, or reports non-convergence — the case where the
     paper says floorplan constraints must be relaxed.
+
+    ``tracer``, when given, receives one ``flow`` span whose children
+    are the evaluated K points' subtrees in schedule order.
     """
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed)
@@ -354,22 +390,29 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
     part = make_partition(base, config.partition_style, positions=positions)
     matcher = Matcher(base, config.library)
     route_cache = RouteCache() if config.route_reuse else None
-    history: List[EvalPoint] = []
-    for k in k_schedule:
-        point = run_k_point(base, positions, floorplan, config, k,
-                            partition=part, matcher=matcher,
-                            route_cache=route_cache)
-        history.append(point)
-        if point.violations <= tolerance:
-            return FlowResult(chosen=point, history=history, converged=True)
-        # The paper's stopping heuristic: once congestion worsens while
-        # the area penalty keeps growing, more K will not help.
-        if len(history) >= 3:
-            recent = history[-3:]
-            if (recent[2].violations > recent[1].violations
-                    > recent[0].violations):
-                break
-    return FlowResult(chosen=None, history=history, converged=False)
+    span_cm = (tracer.span("flow", tolerance=tolerance)
+               if tracer is not None else contextlib.nullcontext())
+    with span_cm:
+        history: List[EvalPoint] = []
+        for k in k_schedule:
+            point = run_k_point(base, positions, floorplan, config, k,
+                                partition=part, matcher=matcher,
+                                route_cache=route_cache)
+            history.append(point)
+            if tracer is not None:
+                tracer.adopt(point.trace)
+            if point.violations <= tolerance:
+                return FlowResult(chosen=point, history=history,
+                                  converged=True)
+            # The paper's stopping heuristic: once congestion worsens
+            # while the area penalty keeps growing, more K will not
+            # help.
+            if len(history) >= 3:
+                recent = history[-3:]
+                if (recent[2].violations > recent[1].violations
+                        > recent[0].violations):
+                    break
+        return FlowResult(chosen=None, history=history, converged=False)
 
 
 def find_routable_die(netlist: MappedNetlist, start_rows: int,

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import MappingError
 from ..library.cell import CellLibrary
+from ..obs import StatsRegistry
 from ..network.dag import BaseNetwork
 from ..network.netlist import MappedNetlist
 from .covering import BoundaryInfo, TreeCover, cover_tree
@@ -47,7 +48,11 @@ class MappingResult:
     instance_positions: Dict[str, Point]    # seed positions per instance
     estimated_wirelength: float             # sum of committed WIRE1 terms
     net_of_vertex: Dict[int, str]
-    stats: Dict[str, float] = field(default_factory=dict)
+    #: ``map.``-namespaced phase times (``map.t_partition`` /
+    #: ``map.t_cover`` / ``map.t_build``), match-cache work counters
+    #: (integers end-to-end) and result counts/gauges (``map.cells``,
+    #: ``map.cell_area``, ``map.match_queries``, ...).
+    stats: StatsRegistry = field(default_factory=StatsRegistry)
 
 
 class TechnologyMapper:
@@ -128,15 +133,17 @@ class TechnologyMapper:
         t_cover = time.perf_counter() - t0
         t0 = time.perf_counter()
         result = builder.finish()
-        result.stats.update({
-            "t_partition": t_partition,
-            "t_cover": t_cover,
-            "t_build": time.perf_counter() - t0,
-            "match_cache_hits":
-                float(matcher.stats["match_cache_hits"] - hits0),
-            "match_cache_misses":
-                float(matcher.stats["match_cache_misses"] - misses0),
-        })
+        hits = matcher.stats["match_cache_hits"] - hits0
+        misses = matcher.stats["match_cache_misses"] - misses0
+        result.stats.time("map.t_partition", t_partition)
+        result.stats.time("map.t_cover", t_cover)
+        result.stats.time("map.t_build", time.perf_counter() - t0)
+        # Hits/misses depend on how warm the shared memo is (which K
+        # points a process ran before); their sum — the number of match
+        # queries the covering issued — is a property of the run alone.
+        result.stats.work("map.match_cache_hits", hits)
+        result.stats.work("map.match_cache_misses", misses)
+        result.stats.count("map.match_queries", hits + misses)
         return result
 
 
@@ -302,13 +309,12 @@ class _NetlistBuilder:
             if name in self.netlist.instances}
         self.netlist.check()
         area = self.netlist.total_area(self.library)
-        stats = {
-            "cells": float(self.netlist.num_cells()),
-            "cell_area": area,
-            "removed_unused": float(removed),
-            "estimated_wirelength": self.wirelength,
-            "dp_claimed_area": self.claimed_area,
-        }
+        stats = StatsRegistry()
+        stats.count("map.cells", self.netlist.num_cells())
+        stats.gauge("map.cell_area", area)
+        stats.count("map.removed_unused", removed)
+        stats.gauge("map.estimated_wirelength", self.wirelength)
+        stats.gauge("map.dp_claimed_area", self.claimed_area)
         return MappingResult(
             netlist=self.netlist, partition=self.part,
             objective=self.objective, positions=self.positions,

@@ -26,7 +26,9 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..obs import StatsRegistry
 
 __all__ = ["default_workers", "derive_seed", "fan_out", "pool_available"]
 
@@ -85,7 +87,7 @@ def _pool_call(task: Any) -> Any:
 
 def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
             workers: int = 1,
-            stats: Optional[Dict[str, float]] = None) -> List[Any]:
+            stats: Optional[StatsRegistry] = None) -> List[Any]:
     """Apply ``fn(payload, task)`` to every task; results in task order.
 
     ``workers <= 1`` (or a single task) runs the plain serial loop.
@@ -95,8 +97,9 @@ def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
     to create or use the pool falls back to the serial loop — the
     results are the same either way.
 
-    ``stats``, when given, receives ``exec_workers`` (processes
-    actually used; 1 for serial) and ``exec_parallel`` (0/1).
+    ``stats``, when given, is a :class:`StatsRegistry` receiving the
+    environment facts ``exec.workers`` (processes actually used; 1 for
+    serial) and ``exec.parallel`` (0/1).
     """
     tasks = list(tasks)
     workers = max(1, int(workers))
@@ -105,14 +108,14 @@ def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
         try:
             results = _fan_out_pool(fn, payload, tasks, nproc)
             if stats is not None:
-                stats["exec_workers"] = float(nproc)
-                stats["exec_parallel"] = 1.0
+                stats.env("exec.workers", nproc)
+                stats.env("exec.parallel", 1)
             return results
         except Exception:
             pass  # pool or pickling failure: fall through to serial
     if stats is not None:
-        stats["exec_workers"] = 1.0
-        stats["exec_parallel"] = 0.0
+        stats.env("exec.workers", 1)
+        stats.env("exec.parallel", 0)
     return [fn(payload, task) for task in tasks]
 
 

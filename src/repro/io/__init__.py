@@ -2,7 +2,7 @@
 
 from .blif import dump_blif, parse_blif
 from .placement_io import dump_placement, parse_placement
-from .report import format_table, k_sweep_table, sta_table
+from .report import format_table, k_sweep_table, render_heatmap, sta_table
 from .verilog import dump_verilog
 from .verilog_reader import parse_verilog
 
@@ -15,5 +15,6 @@ __all__ = [
     "parse_blif",
     "parse_placement",
     "parse_verilog",
+    "render_heatmap",
     "sta_table",
 ]

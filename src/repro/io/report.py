@@ -1,13 +1,17 @@
-"""Fixed-width table rendering in the style of the paper's tables.
+"""Fixed-width table and heatmap rendering in the paper's style.
 
 The benchmark harness prints its reproduction of each table through
 these helpers so outputs line up with the paper's layout for eyeball
-comparison.
+comparison; the observability layer renders congestion heatmaps and
+profile tables through the same module.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
+
+#: Darkness ramp used by the ASCII heatmap rendering.
+HEAT_SHADES = " .:-=+*#%@"
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -39,6 +43,26 @@ def _fmt(cell: object) -> str:
             return f"{cell:.0f}"
         return f"{cell:.2f}"
     return str(cell)
+
+
+def render_heatmap(values, shades: str = HEAT_SHADES) -> str:
+    """ASCII heatmap of a 2D field (darker = higher).
+
+    ``values`` is indexable as ``values[x, y]`` with ``shape`` —
+    typically a numpy array like a routing grid's utilization map —
+    rendered with y increasing upward (row 0 printed last).  Values
+    are clipped to [0, 1] before shading.
+    """
+    nx, ny = values.shape
+    top = len(shades) - 1
+    lines: List[str] = []
+    for y in range(ny - 1, -1, -1):
+        row = []
+        for x in range(nx):
+            level = min(int(values[x, y] * top), top)
+            row.append(shades[max(level, 0)])
+        lines.append("".join(row))
+    return "\n".join(lines)
 
 
 def k_sweep_table(points, title: str) -> str:

@@ -1,0 +1,56 @@
+"""Run-scoped observability: tracing, typed stats, congestion artifacts.
+
+This package is the instrumentation layer every flow stage reports
+through:
+
+* :class:`StatsRegistry` — namespaced, collision-safe, typed counters
+  that merge deterministically across process-pool workers;
+* :class:`Tracer` / :class:`Span` — the hierarchical span tree of one
+  run (run → sweep → k-point → phase) with monotonic wall-times,
+  emittable as JSON-lines;
+* :func:`profile_report` — per-phase time/counter breakdown tables;
+* :func:`write_congestion_artifacts` — per-K-point GCell overflow
+  heatmaps (CSV + ASCII).
+"""
+
+from .artifacts import (
+    congestion_map_csv,
+    congestion_map_text,
+    write_congestion_artifacts,
+)
+from .profile import merged_counters, phase_breakdown, profile_report
+from .registry import (
+    COUNT,
+    ENV,
+    GAUGE,
+    KINDS,
+    METRIC,
+    StatEntry,
+    StatsCollisionError,
+    StatsRegistry,
+    TIME,
+    WORK,
+)
+from .tracer import Span, TraceError, Tracer
+
+__all__ = [
+    "COUNT",
+    "ENV",
+    "GAUGE",
+    "KINDS",
+    "METRIC",
+    "Span",
+    "StatEntry",
+    "StatsCollisionError",
+    "StatsRegistry",
+    "TIME",
+    "TraceError",
+    "Tracer",
+    "WORK",
+    "congestion_map_csv",
+    "congestion_map_text",
+    "merged_counters",
+    "phase_breakdown",
+    "profile_report",
+    "write_congestion_artifacts",
+]

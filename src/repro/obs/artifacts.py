@@ -1,0 +1,73 @@
+"""Congestion-map artifacts: per-K-point GCell heatmaps (CSV + ASCII).
+
+The Figure-3 methodology iterates K until the congestion map is
+acceptable; these artifacts are that map, one pair of files per
+evaluated K point, so a run leaves behind the exact view the loop
+gated on:
+
+* ``<prefix>_<idx>_k<k>.csv`` — long-format GCell table
+  (``x,y,utilization,overflow``), loadable by any plotting tool;
+* ``<prefix>_<idx>_k<k>.txt`` — the ASCII heatmap rendering (via
+  :func:`repro.io.report.render_heatmap`) plus summary counts, for
+  eyeballing how violations shrink as K rises.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from ..io.report import render_heatmap
+
+__all__ = ["congestion_map_csv", "congestion_map_text",
+           "write_congestion_artifacts"]
+
+
+def congestion_map_csv(grid) -> str:
+    """Long-format CSV of per-GCell utilization and overflow."""
+    util = grid.utilization_map()
+    over = grid.overflow_map()
+    lines = ["x,y,utilization,overflow"]
+    for x in range(grid.nx):
+        for y in range(grid.ny):
+            lines.append(f"{x},{y},{util[x, y]:.4f},{int(over[x, y])}")
+    return "\n".join(lines) + "\n"
+
+
+def congestion_map_text(grid, title: str = "") -> str:
+    """ASCII heatmap of GCell congestion with a summary header."""
+    header = (f"{title}\n" if title else "") + (
+        f"grid {grid.nx}x{grid.ny} (hcap={grid.hcap}, vcap={grid.vcap}) "
+        f"overflow={grid.overflow_total()} max_edge={grid.overflow_max()}")
+    return header + "\n" + render_heatmap(grid.utilization_map())
+
+
+def _k_tag(k: float) -> str:
+    return f"{k:g}".replace(".", "p").replace("-", "m")
+
+
+def write_congestion_artifacts(points: Sequence, directory: str,
+                               prefix: str = "congestion") -> List[str]:
+    """Dump one CSV + one ASCII heatmap per evaluated point.
+
+    ``points`` are :class:`~repro.core.flow.EvalPoint`-likes (anything
+    with ``k`` and a ``routing`` carrying a grid); points without a
+    routing result are skipped.  Returns the written paths.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for idx, point in enumerate(points):
+        routing = getattr(point, "routing", None)
+        if routing is None:
+            continue
+        stem = f"{prefix}_{idx:02d}_k{_k_tag(point.k)}"
+        csv_path = os.path.join(directory, stem + ".csv")
+        with open(csv_path, "w") as handle:
+            handle.write(congestion_map_csv(routing.grid))
+        txt_path = os.path.join(directory, stem + ".txt")
+        title = (f"K={point.k:g} violations={routing.violations} "
+                 f"overflowed_nets={routing.overflowed_nets}")
+        with open(txt_path, "w") as handle:
+            handle.write(congestion_map_text(routing.grid, title) + "\n")
+        written.extend([csv_path, txt_path])
+    return written

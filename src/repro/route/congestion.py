@@ -9,10 +9,10 @@ summary statistics and an ASCII rendering for interactive use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
+from ..io.report import render_heatmap
 from .grid import RoutingGrid
 from .router import RoutingResult
 
@@ -52,15 +52,6 @@ def congestion_stats(result: RoutingResult,
 
 def render_congestion_map(grid: RoutingGrid, width: int = 0) -> str:
     """ASCII heat map of GCell congestion (darker = more congested)."""
-    shades = " .:-=+*#%@"
-    util = grid.utilization_map()
-    lines: List[str] = []
-    for y in range(grid.ny - 1, -1, -1):
-        row = []
-        for x in range(grid.nx):
-            level = min(int(util[x, y] * (len(shades) - 1)), len(shades) - 1)
-            row.append(shades[max(level, 0)])
-        lines.append("".join(row))
     header = (f"congestion map {grid.nx}x{grid.ny} "
               f"(hcap={grid.hcap}, vcap={grid.vcap})")
-    return header + "\n" + "\n".join(lines)
+    return header + "\n" + render_heatmap(grid.utilization_map())

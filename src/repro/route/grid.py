@@ -198,6 +198,17 @@ class RoutingGrid:
         """demand / capacity of one edge."""
         return float(self.demand[direction][ex, ey]) / self.capacity(direction)
 
+    def overflow_map(self) -> np.ndarray:
+        """(nx, ny) max surrounding-edge overflow per GCell (int)."""
+        over = np.zeros((self.nx, self.ny), dtype=np.int64)
+        oh = np.maximum(self.demand[HORIZONTAL] - self.hcap, 0)
+        ov = np.maximum(self.demand[VERTICAL] - self.vcap, 0)
+        over[:-1, :] = np.maximum(over[:-1, :], oh)
+        over[1:, :] = np.maximum(over[1:, :], oh)
+        over[:, :-1] = np.maximum(over[:, :-1], ov)
+        over[:, 1:] = np.maximum(over[:, 1:], ov)
+        return over
+
     def utilization_map(self) -> np.ndarray:
         """(nx, ny) max surrounding-edge congestion per GCell."""
         util = np.zeros((self.nx, self.ny))

@@ -32,6 +32,7 @@ from .router import (
     NetRoute,
     RoutingResult,
     Signature,
+    _router_stats,
     victim_order,
 )
 from .steiner import gcell_signature, mst_segments
@@ -214,10 +215,9 @@ def route_reference(router, grid: RoutingGrid,
         h_edges += sum(1 for d, _, _ in edges if d == HORIZONTAL)
         total_edges += len(edges)
     total_wl = h_edges * grid.gw + (total_edges - h_edges) * grid.gh
-    stats = {"t_init_route": t_init, "t_negotiate": t_negotiate,
-             "nets_rerouted": float(len(rerouted_nets)),
-             "segments_rerouted": float(segments_rerouted),
-             "routes_reused": float(routes_reused)}
+    stats = _router_stats(t_init, t_negotiate, len(rerouted_nets),
+                          segments_rerouted, routes_reused, iterations,
+                          violations, overflowed_nets, total_wl)
     return RoutingResult(grid=grid, routes=routes, violations=violations,
                          overflowed_nets=overflowed_nets,
                          iterations=iterations, total_wirelength=total_wl,

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import RoutingError
+from ..obs import StatsRegistry
 from ..place.floorplan import Floorplan
 from .grid import GCell, HORIZONTAL, RoutingGrid, RoutingResources, VERTICAL
 from .maze import (
@@ -104,10 +105,13 @@ class RoutingResult:
     iterations: int
     total_wirelength: float       # µm
     engine: str = VECTOR
-    #: Router-internal phase timings and counters: ``t_init_route``,
-    #: ``t_negotiate``, ``nets_rerouted``, ``segments_rerouted``,
-    #: ``routes_reused``.
-    stats: Dict[str, float] = field(default_factory=dict)
+    #: Router phase timings, work counters and result counts, all under
+    #: the ``route.`` namespace: ``route.t_init`` / ``route.t_negotiate``
+    #: (times), ``route.nets_rerouted`` / ``route.segments_rerouted`` /
+    #: ``route.routes_reused`` / ``route.iterations`` (work),
+    #: ``route.violations`` / ``route.overflowed_nets`` (counts) and
+    #: ``route.wirelength`` (metric).
+    stats: StatsRegistry = field(default_factory=StatsRegistry)
 
     @property
     def routable(self) -> bool:
@@ -151,6 +155,32 @@ class RouteCache:
         self.grid_key = self._key(result.grid)
         self.routes = {route.signature: list(route.seg_edge_ids)
                        for _, route in sorted(result.routes.items())}
+
+
+def _router_stats(t_init: float, t_negotiate: float, nets_rerouted: int,
+                  segments_rerouted: int, routes_reused: int,
+                  iterations: int, violations: int, overflowed_nets: int,
+                  wirelength: float) -> StatsRegistry:
+    """The routing stats registry — one shape for both engines.
+
+    Violations and overflowed nets are *results* (deterministic
+    counts); reroute and reuse tallies are *work* (they vary with
+    warm-starting and negotiation schedule even when the results are
+    bit-identical).  Wirelength is a *metric*: a warm-started net keeps
+    its cached (legal) route, so the total can differ from a cold run
+    that never needed to detour.
+    """
+    stats = StatsRegistry()
+    stats.time("route.t_init", t_init)
+    stats.time("route.t_negotiate", t_negotiate)
+    stats.work("route.nets_rerouted", int(nets_rerouted))
+    stats.work("route.segments_rerouted", int(segments_rerouted))
+    stats.work("route.routes_reused", int(routes_reused))
+    stats.work("route.iterations", int(iterations))
+    stats.count("route.violations", int(violations))
+    stats.count("route.overflowed_nets", int(overflowed_nets))
+    stats.metric("route.wirelength", float(wirelength))
+    return stats
 
 
 def victim_order(count: int, rng: np.random.Generator) -> np.ndarray:
@@ -303,10 +333,9 @@ class GlobalRouter:
             route.edges = (
                 grid.decode_edge_ids(np.concatenate(route.seg_edge_ids))
                 if route.seg_edge_ids else [])
-        stats = {"t_init_route": t_init, "t_negotiate": t_negotiate,
-                 "nets_rerouted": float(len(rerouted_nets)),
-                 "segments_rerouted": float(segments_rerouted),
-                 "routes_reused": float(routes_reused)}
+        stats = _router_stats(t_init, t_negotiate, len(rerouted_nets),
+                              segments_rerouted, routes_reused, iterations,
+                              violations, overflowed_nets, total_wl)
         return RoutingResult(grid=grid, routes=routes, violations=violations,
                              overflowed_nets=overflowed_nets,
                              iterations=iterations,

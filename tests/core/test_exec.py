@@ -7,6 +7,7 @@ from repro.core import FlowConfig, k_sweep
 from repro.exec import default_workers, derive_seed, fan_out, pool_available
 from repro.library import CORELIB018
 from repro.network import decompose
+from repro.obs import StatsRegistry
 from repro.place import Floorplan, place_base_network
 
 
@@ -25,23 +26,24 @@ class TestFanOut:
     def test_parallel_ordered_and_identical_to_serial(self):
         tasks = list(range(20))
         serial = fan_out(_square, 3, tasks, workers=1)
-        stats = {}
+        stats = StatsRegistry()
         parallel = fan_out(_square, 3, tasks, workers=4, stats=stats)
         assert parallel == serial
-        assert stats["exec_workers"] >= 1.0
+        assert stats["exec.workers"] >= 1
 
     def test_single_task_stays_serial(self):
-        stats = {}
+        stats = StatsRegistry()
         assert fan_out(_square, 1, [5], workers=8, stats=stats) == [25]
-        assert stats["exec_parallel"] == 0.0
+        assert stats["exec.parallel"] == 0
 
     def test_unpicklable_payload_falls_back_to_serial(self):
         # A lambda payload cannot cross a process boundary; the pool
         # attempt must degrade to the serial loop, not crash.
-        stats = {}
+        stats = StatsRegistry()
         out = fan_out(lambda payload, task: task + 1,
                       None, [1, 2], workers=4, stats=stats)
         assert out == [2, 3]
+        assert stats["exec.parallel"] in (0, 1)
 
     def test_task_error_propagates(self):
         with pytest.raises(ValueError):
@@ -105,9 +107,10 @@ class TestParallelKSweepDeterminism:
         points = k_sweep(base, floorplan, config, k_values=[0.0, 0.001],
                          positions=positions)
         for point in points:
-            for key in ("t_map", "t_eval", "t_place", "t_route",
-                        "t_partition", "t_cover", "t_build",
-                        "match_cache_hits", "match_cache_misses"):
+            for key in ("map.t_total", "eval.t_total", "eval.t_place",
+                        "eval.t_route", "map.t_partition", "map.t_cover",
+                        "map.t_build", "map.match_cache_hits",
+                        "map.match_cache_misses"):
                 assert key in point.stats, key
         # The matcher memo is shared across the sweep: the second K
         # re-uses the first K's enumerations.

@@ -17,6 +17,7 @@ from repro.core import (
 from repro.errors import ReproError
 from repro.library import CORELIB018
 from repro.network import check_base_vs_mapped, decompose
+from repro.obs import StatsCollisionError, Tracer
 from repro.place import Floorplan, place_base_network
 
 
@@ -242,8 +243,38 @@ class TestCrossKRouteReuse:
     def test_router_phase_stats_reach_eval_point(self, flow_setup):
         base, config, floorplan, positions = flow_setup
         point = run_k_point(base, positions, floorplan, config, 0.0)
-        for key in ("t_init_route", "t_negotiate", "nets_rerouted",
-                    "segments_rerouted", "routes_reused"):
+        for key in ("route.t_init", "route.t_negotiate",
+                    "route.nets_rerouted", "route.segments_rerouted",
+                    "route.routes_reused"):
             assert key in point.stats
-        assert point.stats["t_init_route"] >= 0.0
-        assert point.stats["t_negotiate"] >= 0.0
+        assert point.stats["route.t_init"] >= 0.0
+        assert point.stats["route.t_negotiate"] >= 0.0
+
+
+class TestFlowTracing:
+    """The flow drivers thread the run tracer through every stage."""
+
+    def test_flow_span_tree(self, flow_setup):
+        base, config, _, _ = flow_setup
+        floorplan = Floorplan.from_rows(18, aspect=1.0)
+        tracer = Tracer("run", command="flow")
+        result = congestion_aware_flow(base, floorplan, config,
+                                       k_schedule=[0.0, 0.01],
+                                       tolerance=1000, tracer=tracer)
+        root = tracer.close()
+        flow_span = root.children[0]
+        assert flow_span.name == "flow"
+        assert len(flow_span.children) == len(result.history)
+        assert all(c.name == "k_point" for c in flow_span.children)
+        for point, child in zip(result.history, flow_span.children):
+            assert point.trace is child
+
+    def test_stats_duplicate_write_raises(self, flow_setup):
+        """Satellite: re-recording an existing key is an error, not a
+        silent overwrite (the old evaluate_netlist merge bug)."""
+        base, config, floorplan, positions = flow_setup
+        point = run_k_point(base, positions, floorplan, config, 0.0)
+        with pytest.raises(StatsCollisionError):
+            point.stats.time("eval.t_total", 0.0)
+        with pytest.raises(StatsCollisionError):
+            point.stats.absorb(point.routing.stats)

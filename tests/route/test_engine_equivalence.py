@@ -100,8 +100,9 @@ class TestRouterStats:
         nets = random_nets(1, count=80)
         result = GlobalRouter(FLOORPLAN, STARVED,
                               max_iterations=6).route(nets)
-        for key in ("t_init_route", "t_negotiate", "nets_rerouted",
-                    "segments_rerouted", "routes_reused"):
+        for key in ("route.t_init", "route.t_negotiate",
+                    "route.nets_rerouted", "route.segments_rerouted",
+                    "route.routes_reused"):
             assert key in result.stats
         assert result.stats["segments_rerouted"] >= \
             result.stats["nets_rerouted"] > 0

@@ -71,6 +71,48 @@ class TestCommands:
         assert code in (0, 1)
 
 
+class TestObservabilityFlags:
+    def test_sweep_alias_parses(self):
+        args = build_parser().parse_args(["sweep", "spla@0.01"])
+        assert args.func.__name__ == "_cmd_ksweep"
+
+    def test_sweep_trace_profile_artifacts(self, tmp_path, capsys):
+        import json
+        trace = str(tmp_path / "out.jsonl")
+        assert main(["sweep", "spla@0.02", "--rows", "16",
+                     "--k", "0.0,0.01", "--trace", trace,
+                     "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "Per-phase breakdown" in captured.out
+        assert "Merged counters" in captured.out
+        rows = [json.loads(line)
+                for line in open(trace).read().strip().split("\n")]
+        assert rows[0]["event"] == "meta"
+        assert any(r.get("name") == "k_point" for r in rows)
+        # One CSV + one ASCII heatmap per evaluated K point, in the
+        # default <trace>.artifacts directory.
+        import os
+        artifacts = sorted(os.listdir(trace + ".artifacts"))
+        assert len(artifacts) == 4
+        assert artifacts[0].endswith(".csv") and "k0" in artifacts[0]
+
+    def test_flow_trace_to_explicit_artifacts_dir(self, tmp_path, capsys):
+        import os
+        trace = str(tmp_path / "flow.jsonl")
+        art = str(tmp_path / "maps")
+        code = main(["flow", "spla@0.02", "--rows", "18",
+                     "--tolerance", "50", "--trace", trace,
+                     "--artifacts", art])
+        assert code in (0, 1)
+        assert os.path.exists(trace)
+        assert any(name.endswith(".txt") for name in os.listdir(art))
+
+    def test_profile_without_trace(self, capsys):
+        assert main(["ksweep", "spla@0.02", "--rows", "16",
+                     "--k", "0.0", "--profile"]) == 0
+        assert "run/sweep/k_point" in capsys.readouterr().out
+
+
 class TestStaCommand:
     def test_sta_report(self, capsys):
         assert main(["sta", "spla@0.02", "--rows", "16", "--paths", "3"]) == 0
