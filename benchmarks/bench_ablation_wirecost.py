@@ -7,19 +7,24 @@ perturbation non-uniform across the tree and the K response
 unpredictable ("no correlation between the cell area and the wire cost
 terms ... little chance of predicting a priori which one will occur").
 
-Measured outcome in this reproduction: the two formulations have
-K scales an order of magnitude apart.  At matched K the paper's local
-cost responds decisively (it reaches its wire-reduction saturation
-within the flow's K window) while the transitive cost barely moves
-until K is ~10× larger — i.e. the K knob's meaning depends strongly on
-the formulation, which is precisely why the paper pins down a local,
-uniform cost.  The bench prints both response curves and asserts:
+Measured outcome in this reproduction (under the corrected covering
+cost model): inside the flow's small-K window the two formulations
+track each other, but at large K the transitive cost destabilizes
+exactly the way the paper warns.  Its area overshoots roughly 3× more
+than the local cost's at matched K, and — because the accumulated
+transitive term swamps the area term non-uniformly across the tree —
+its *wire* regresses past the K = 0 baseline (K = 1: +10% wire for
++26% area), while the paper's local cost keeps a monotone wire
+response with a modest area penalty (−5% wire for +9% area).  The
+bench prints both response curves and asserts:
 
 * wire decreases (weakly) with K under the paper's cost,
 * at matched K inside the flow's window the paper's cost achieves at
-  least the wire reduction of the transitive cost,
-* the paper's cost keeps the area penalty within a few percent at the
-  window K values actually used by the Figure-3 flow.
+  least the wire reduction of the transitive cost, with the area
+  penalty within a couple percent,
+* at large K the paper's cost Pareto-dominates the transitive one
+  (less area AND less wire), and the transitive wire response loses
+  monotonicity while the local one does not.
 """
 
 import pytest
@@ -89,12 +94,25 @@ def test_ablation_wirecost(benchmark, spla_setup):
         _, _, _, wire_l, wire_t = by_k[k]
         assert wire_l <= wire_t * 1.005, f"K={k}"
 
-    # The paper's cost keeps area within a few percent at window K.
-    assert by_k[0.01][1] <= base_area * 1.05
+    # The paper's cost keeps area within a couple percent across the
+    # whole operating window, not just at its low end.
+    for k in (0.01, 0.05, 0.1):
+        assert by_k[k][1] <= base_area * 1.02, f"K={k}"
 
-    # The transitive response lags ~10x in K: by K=0.1 the local cost
-    # has moved the netlist decisively; the transitive one has not.
-    local_shift_01 = by_k[0.1][1] / base_area - 1
-    transitive_shift_01 = by_k[0.1][2] / base_area - 1
-    assert local_shift_01 > 0.05
-    assert transitive_shift_01 < local_shift_01
+    # At large K the local cost Pareto-dominates: less area AND less
+    # wire than the transitive formulation at matched K.
+    for k in (0.5, 1.0):
+        _, area_l, area_t, wire_l, wire_t = by_k[k]
+        assert area_l < area_t, f"K={k}"
+        assert wire_l < wire_t, f"K={k}"
+
+    # Section 3.3's instability, concretely: pushed hard, the
+    # transitive cost's wire term regresses past its own K=0 baseline
+    # (the accumulated term perturbs the tree non-uniformly), while
+    # the local cost still improves wire at the same K.
+    assert by_k[1.0][4] > base_wire
+    assert by_k[1.0][3] < base_wire
+    # ... and its area overshoot is large where the local cost's is
+    # moderate.
+    assert by_k[1.0][2] > base_area * 1.15
+    assert by_k[1.0][1] < base_area * 1.12

@@ -14,13 +14,24 @@ acceptable.  Asserts the loop's two key economics:
 
 import pytest
 
-from conftest import ROUTABLE_TOLERANCE, publish
-from repro.core import congestion_aware_flow
+from conftest import ROUTABLE_TOLERANCE, SCALE, SPLA_ROWS, publish
+from repro.circuits import spla_like
+from repro.core import FlowConfig, congestion_aware_flow
 from repro.io import format_table
+from repro.library import CORELIB018
+from repro.network import decompose
 from repro.obs import Tracer, profile_report
+from repro.place import Floorplan
 
 K_SCHEDULE = [0.0, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-              0.01, 0.05]
+              0.01, 0.05, 0.1, 0.25]
+
+#: The die-escalation regression triplet: the calibrated marginal die
+#: (needs K > 0 to route) and the next two relaxations (even K = 0
+#: routes).  The flow must converge on all three — the historical
+#: non-convergence bug was a stale marginal-die calibration combined
+#: with warm-starting the router from congested snapshots.
+ESCALATION_ROWS = (SPLA_ROWS, SPLA_ROWS + 1, SPLA_ROWS + 2)
 
 _cache = {}
 
@@ -68,3 +79,32 @@ def test_figure3_flow(benchmark, spla_setup):
     # The flow stopped at the first acceptable K (no wasted iterations).
     for point in result.history[:-1]:
         assert point.violations > ROUTABLE_TOLERANCE
+
+
+def run_escalation(spla_setup):
+    """The Figure 3 loop on each die of the escalation triplet."""
+    if "escalation" not in _cache:
+        results = {SPLA_ROWS: run_flow(spla_setup)}
+        for rows in ESCALATION_ROWS[1:]:
+            base = decompose(spla_like(SCALE))
+            floorplan = Floorplan.from_rows(rows, aspect=1.0)
+            results[rows] = congestion_aware_flow(
+                base, floorplan, FlowConfig(library=CORELIB018),
+                k_schedule=K_SCHEDULE, tolerance=ROUTABLE_TOLERANCE)
+        _cache["escalation"] = results
+    return _cache["escalation"]
+
+
+def test_figure3_die_escalation(benchmark, spla_setup):
+    """Regression: the flow converges on the marginal die *and* both
+    relaxations (the non-convergence bug left all three stuck)."""
+    results = benchmark.pedantic(run_escalation, args=(spla_setup,),
+                                 rounds=1, iterations=1)
+    for rows in ESCALATION_ROWS:
+        assert results[rows].converged, \
+            f"figure3 flow must converge at {rows} rows"
+    # The marginal die needs congestion awareness; the relaxed dies
+    # route the minimum-area mapping directly.
+    assert results[ESCALATION_ROWS[0]].chosen_k > 0.0
+    for rows in ESCALATION_ROWS[1:]:
+        assert results[rows].chosen_k == 0.0

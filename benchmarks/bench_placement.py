@@ -1,0 +1,169 @@
+"""Placement & covering engines — vectorized vs scalar reference.
+
+The placement stack (quadratic seed, spreading, legalization,
+annealing) and the tree-covering DP both ship two engines: the flat
+numpy ``vector`` engine used by default and the scalar ``reference``
+oracles they replaced.  This bench runs the full map-and-place pipeline
+through both engines at growing scales, asserts the results are
+bit-identical, and records the per-phase timing breakdown to
+``BENCH_placement.json``.
+
+The acceptance floor applies to the *combined* placement + covering
+time at the largest scale — the quantity the Figure-3 K-loop actually
+pays once per K point.  The matcher is pre-warmed before timing, the
+way a K sweep sees it (every K after the first hits the match memo).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, publish
+from repro.circuits import spla_like
+from repro.core import Matcher, area_congestion, map_network
+from repro.io import format_table
+from repro.library import CORELIB018
+from repro.network import decompose
+from repro.place import Floorplan, place_base_network
+from repro.place.placer import place_netlist
+
+SCALES = [0.03, 0.06, 0.125]
+
+#: Anneal budget per place_netlist call — enough for the cached-HPWL
+#: incremental evaluation to dominate the anneal cost.
+ANNEAL_MOVES = 4000
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Full-run acceptance: combined placement + covering through the
+#: vector engine must at least halve the reference cost at the largest
+#: scale (ISSUE 6 tentpole criterion).
+PLACEMENT_SPEEDUP_FLOOR = 2.0
+
+_cache = {}
+
+
+def _run_engine(base, floorplan, matcher, engine):
+    """One full mapping + placement pass; returns results and timings."""
+    timings = {}
+    t0 = time.perf_counter()
+    positions = place_base_network(base, floorplan, engine=engine,
+                                   timings=timings)
+    t_place_ti = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    mapping = map_network(base, CORELIB018, area_congestion(0.001),
+                          partition_style="placement", positions=positions,
+                          matcher=matcher, engine=engine)
+    t_map = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    placement = place_netlist(mapping.netlist, CORELIB018, floorplan,
+                              anneal_moves=ANNEAL_MOVES, engine=engine,
+                              timings=timings)
+    t_place_cells = time.perf_counter() - t0
+
+    t_dp = float(mapping.stats.get("cover.t_dp", 0.0))
+    return {
+        "positions": positions.as_points(),
+        "cells": sorted((i.cell_name, tuple(sorted(i.pins.items())),
+                         i.output)
+                        for i in mapping.netlist.instances.values()),
+        "placed": placement.positions,
+        "total": t_place_ti + t_dp + t_place_cells,
+        "t_place_ti": t_place_ti,
+        "t_map": t_map,
+        "t_dp": t_dp,
+        "t_place_cells": t_place_cells,
+        "phases": dict(timings),
+    }
+
+
+def run_placement_engines():
+    if "rows" in _cache:
+        return _cache["rows"]
+    scales = SCALES[:1] if SMOKE else SCALES
+    rows = []
+    for scale in scales:
+        base = decompose(spla_like(scale))
+        floorplan = Floorplan.for_area(base.num_gates() * 12.0 / 0.35,
+                                       aspect=1.0)
+        # One shared matcher, pre-warmed: K-sweep reality is a hot
+        # match memo, so the DP timing isolates covering, not matching.
+        matcher = Matcher(base, CORELIB018)
+        map_network(base, CORELIB018, area_congestion(0.001),
+                    partition_style="placement",
+                    positions=place_base_network(base, floorplan),
+                    matcher=matcher)
+
+        results = {engine: _run_engine(base, floorplan, matcher, engine)
+                   for engine in ("vector", "reference")}
+        vec, ref = results["vector"], results["reference"]
+
+        # Equivalence gate: the engines must agree bitwise end to end.
+        assert vec["positions"] == ref["positions"]
+        assert vec["cells"] == ref["cells"]
+        assert vec["placed"] == ref["placed"]
+
+        rows.append({
+            "scale": scale,
+            "gates": base.num_gates(),
+            "cells": len(vec["cells"]),
+            "t_vector": vec["total"],
+            "t_reference": ref["total"],
+            "speedup": ref["total"] / max(vec["total"], 1e-9),
+            "vector_phases": {
+                "t_place_ti": vec["t_place_ti"],
+                "t_dp": vec["t_dp"],
+                "t_place_cells": vec["t_place_cells"],
+                **{f"place.{k}": v for k, v in vec["phases"].items()},
+            },
+            "reference_phases": {
+                "t_place_ti": ref["t_place_ti"],
+                "t_dp": ref["t_dp"],
+                "t_place_cells": ref["t_place_cells"],
+                **{f"place.{k}": v for k, v in ref["phases"].items()},
+            },
+        })
+    _cache["rows"] = rows
+    return rows
+
+
+def test_placement_engines(benchmark):
+    """Vectorized placement + covering speedup over the scalar oracles."""
+    rows = benchmark.pedantic(run_placement_engines, rounds=1, iterations=1)
+    table = format_table(
+        ["scale", "gates", "cells", "vector (s)",
+         "ti-place/DP/cell-place (s)", "reference (s)", "speedup"],
+        [(f"{r['scale']:g}", r["gates"], r["cells"],
+          f"{r['t_vector']:.3f}",
+          f"{r['vector_phases']['t_place_ti']:.3f}/"
+          f"{r['vector_phases']['t_dp']:.3f}/"
+          f"{r['vector_phases']['t_place_cells']:.3f}",
+          f"{r['t_reference']:.3f}", f"{r['speedup']:.1f}x")
+         for r in rows],
+        title="Placement & covering engines - vectorized vs scalar "
+              f"reference ({'smoke' if SMOKE else 'full'} mode; "
+              "bit-identical results asserted per scale)")
+    publish("placement_engines", table)
+
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "speedup_floor": None if SMOKE else PLACEMENT_SPEEDUP_FLOOR,
+        "anneal_moves": ANNEAL_MOVES,
+        "rows": rows,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_placement.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    assert all(r["t_vector"] > 0 and r["t_reference"] > 0 for r in rows)
+    if not SMOKE:
+        largest = rows[-1]
+        assert largest["speedup"] >= PLACEMENT_SPEEDUP_FLOOR, \
+            (f"vector engine only {largest['speedup']:.1f}x over the "
+             f"reference at scale {largest['scale']:g} "
+             f"(floor {PLACEMENT_SPEEDUP_FLOOR:.0f}x)")

@@ -209,8 +209,8 @@ def run_routing_engines(config):
     rows = []
     for scale in scales:
         base = decompose(spla_like(scale))
-        # A marginal die, scaled down from the calibrated 30-row SPLA
-        # die (conftest): the engines must negotiate hard for tracks,
+        # A deliberately tight die (30 rows at full scale, shrunk with
+        # sqrt(scale)): the engines must negotiate hard for tracks,
         # which is exactly the phase the vectorization targets.
         die_rows = max(10, round(30 * (scale / 0.125) ** 0.5))
         floorplan = Floorplan.from_rows(die_rows, aspect=1.0)
@@ -224,21 +224,26 @@ def run_routing_engines(config):
 
         results = {}
         times = {}
-        for engine in ("vector", "reference"):
+        for engine in ("vector", "reference", "auto"):
             router = GlobalRouter(floorplan, config.resources,
                                   gcell_rows=config.gcell_rows,
                                   max_iterations=config.max_route_iterations,
                                   seed=config.seed, engine=engine)
-            t0 = time.perf_counter()
-            results[engine] = router.route(points)
-            times[engine] = time.perf_counter() - t0
-        vec, ref = results["vector"], results["reference"]
+            best = float("inf")
+            for _ in range(3):             # best-of-3 absorbs timer noise
+                t0 = time.perf_counter()
+                results[engine] = router.route(points)
+                best = min(best, time.perf_counter() - t0)
+            times[engine] = best
+        vec, ref, auto = (results["vector"], results["reference"],
+                          results["auto"])
 
         # Equivalence gate: a speedup that changes answers is a bug.
-        assert vec.violations == ref.violations
-        assert vec.overflowed_nets == ref.overflowed_nets
-        assert vec.total_wirelength == ref.total_wirelength
-        assert vec.iterations == ref.iterations
+        for other in (ref, auto):
+            assert vec.violations == other.violations
+            assert vec.overflowed_nets == other.overflowed_nets
+            assert vec.total_wirelength == other.total_wirelength
+            assert vec.iterations == other.iterations
 
         rows.append({
             "scale": scale,
@@ -247,7 +252,9 @@ def run_routing_engines(config):
             "iterations": vec.iterations,
             "t_vector": times["vector"],
             "t_reference": times["reference"],
+            "t_auto": times["auto"],
             "speedup": times["reference"] / max(times["vector"], 1e-9),
+            "auto_speedup": times["reference"] / max(times["auto"], 1e-9),
             "t_init_route": vec.stats["route.t_init"],
             "t_negotiate": vec.stats["route.t_negotiate"],
             "nets_rerouted": vec.stats["route.nets_rerouted"],
@@ -262,15 +269,16 @@ def test_routing_engines(benchmark, config):
                               rounds=1, iterations=1)
     table = format_table(
         ["scale", "nets", "violations", "iters", "vector (s)",
-         "init/negotiate (s)", "reference (s)", "speedup"],
+         "init/negotiate (s)", "reference (s)", "auto (s)", "speedup"],
         [(f"{r['scale']:g}", r["nets"], r["violations"], r["iterations"],
           f"{r['t_vector']:.3f}",
           f"{r['t_init_route']:.3f}/{r['t_negotiate']:.3f}",
-          f"{r['t_reference']:.3f}", f"{r['speedup']:.1f}x")
+          f"{r['t_reference']:.3f}", f"{r['t_auto']:.3f}",
+          f"{r['speedup']:.1f}x")
          for r in rows],
         title="Global-routing engines - vectorized vs per-edge reference "
               f"({'smoke' if SMOKE else 'full'} mode; identical results "
-              "asserted per scale)")
+              "asserted per scale; auto picks by net count)")
     publish("routing_engines", table)
 
     payload = {
@@ -290,3 +298,15 @@ def test_routing_engines(benchmark, config):
             (f"vectorized engine only {largest['speedup']:.1f}x over the "
              f"reference at scale {largest['scale']:g} "
              f"(floor {ROUTING_SPEEDUP_FLOOR:.0f}x)")
+        # The shipped default (auto) must never meaningfully lose to the
+        # reference — the small-design regression the engine selector
+        # exists to fix.  Mid-scale sits near the engines' crossover
+        # where the two are a wall-clock tie, so allow timer noise
+        # there; the largest scale must stay a decisive win.
+        for r in rows:
+            assert r["auto_speedup"] >= 0.9, \
+                (f"auto engine slower than reference at scale "
+                 f"{r['scale']:g}: {r['auto_speedup']:.2f}x")
+        assert largest["auto_speedup"] >= 1.5, \
+            (f"auto engine only {largest['auto_speedup']:.1f}x over the "
+             f"reference at scale {largest['scale']:g}")

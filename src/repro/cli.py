@@ -129,7 +129,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     base = decompose(network)
     config = FlowConfig(library=CORELIB018, workers=args.workers,
                         route_engine=args.route_engine,
-                        route_reuse=not args.no_route_reuse)
+                        route_reuse=not args.no_route_reuse,
+                        place_engine=args.place_engine)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     tracer = _make_tracer(args, "flow")
@@ -151,7 +152,8 @@ def _cmd_ksweep(args: argparse.Namespace) -> int:
     base = decompose(network)
     config = FlowConfig(library=CORELIB018, workers=args.workers,
                         route_engine=args.route_engine,
-                        route_reuse=not args.no_route_reuse)
+                        route_reuse=not args.no_route_reuse,
+                        place_engine=args.place_engine)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     k_values = [float(k) for k in args.k.split(",")] if args.k \
@@ -247,10 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--workers", type=int, default=1,
                         help="process fan-out for parallel stages "
                              "(results are identical to --workers 1)")
-    p_flow.add_argument("--route-engine", default="vector",
+    p_flow.add_argument("--route-engine", default="auto",
+                        choices=["auto", "vector", "reference"],
+                        help="global-routing engine (auto picks by design "
+                             "size; all engines give identical results)")
+    p_flow.add_argument("--place-engine", default="vector",
                         choices=["vector", "reference"],
-                        help="global-routing engine (reference = per-edge "
-                             "oracle; identical results, slower)")
+                        help="placement/covering compute engine (reference "
+                             "= scalar oracles; identical results, slower)")
     p_flow.add_argument("--no-route-reuse", action="store_true",
                         help="disable cross-K route warm-starting")
     _add_obs_flags(p_flow)
@@ -265,10 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="map K points over N processes "
                               "(results are identical to --workers 1)")
-    p_sweep.add_argument("--route-engine", default="vector",
+    p_sweep.add_argument("--route-engine", default="auto",
+                         choices=["auto", "vector", "reference"],
+                         help="global-routing engine (auto picks by design "
+                              "size; all engines give identical results)")
+    p_sweep.add_argument("--place-engine", default="vector",
                          choices=["vector", "reference"],
-                         help="global-routing engine (reference = per-edge "
-                              "oracle; identical results, slower)")
+                         help="placement/covering compute engine (reference "
+                              "= scalar oracles; identical results, slower)")
     p_sweep.add_argument("--no-route-reuse", action="store_true",
                          help="disable cross-K route warm-starting")
     _add_obs_flags(p_sweep)
@@ -280,8 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sta.add_argument("--k", type=float, default=0.0)
     p_sta.add_argument("--paths", type=int, default=5,
                        help="how many worst endpoints to list")
-    p_sta.add_argument("--route-engine", default="vector",
-                       choices=["vector", "reference"])
+    p_sta.add_argument("--route-engine", default="auto",
+                       choices=["auto", "vector", "reference"])
     p_sta.set_defaults(func=_cmd_sta)
     return parser
 

@@ -39,13 +39,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..errors import MappingError
 from ..library.cell import CellLibrary
 from ..network.dag import BaseNetwork
 from .matching import Match, Matcher, NEG, POS
 from .objectives import CoverObjective
 from .partition import Tree
-from .wirecost import Point, PositionMap
+from .wirecost import EUCLIDEAN, Point, PositionMap
+
+#: Covering engines: the array DP and the per-match reference oracle.
+VECTOR = "vector"
+REFERENCE = "reference"
 
 
 @dataclass
@@ -113,14 +119,31 @@ class BoundaryInfo:
 def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,
                library: CellLibrary, objective: CoverObjective,
                boundary: BoundaryInfo,
-               materialized: Set[int]) -> TreeCover:
+               materialized: Set[int],
+               engine: str = VECTOR) -> TreeCover:
     """Cover one subject tree bottom-up; returns the full DP table.
 
     ``materialized`` lists vertices whose signal exists as a net even if
     they are members of this tree (multi-fanout absorption); the root
     itself is excluded from that treatment since this call is what
-    materializes it.
+    materializes it.  ``engine`` selects the array DP (``"vector"``,
+    the default) or the per-match reference implementation
+    (``"reference"``); the two are bit-identical.
     """
+    if engine == VECTOR:
+        return _cover_vector(network, tree, matcher, library, objective,
+                             boundary, materialized)
+    if engine == REFERENCE:
+        return _cover_reference(network, tree, matcher, library, objective,
+                                boundary, materialized)
+    raise MappingError(f"unknown covering engine {engine!r}")
+
+
+def _cover_reference(network: BaseNetwork, tree: Tree, matcher: Matcher,
+                     library: CellLibrary, objective: CoverObjective,
+                     boundary: BoundaryInfo,
+                     materialized: Set[int]) -> TreeCover:
+    """The per-match scalar DP (the oracle the vector engine must match)."""
     members = tree.members
     root = tree.root
     inv = library.inverter
@@ -177,30 +200,7 @@ def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,
                 if sol is not None and (cand[phase] is None
                                         or sol.cost < cand[phase].cost):
                     cand[phase] = sol
-        # Inverter phase conversions.  A conversion always chains from
-        # the opposite phase's *match-based* best, never from another
-        # conversion — this keeps realisation acyclic.
-        match_based = dict(cand)
-        for phase in (POS, NEG):
-            source = match_based[not phase]
-            if source is None:
-                continue
-            arrival = source.arrival + inv.delay(objective.load_estimate)
-            converted = Solution(
-                cost=objective.cost(source.area + inv.area,
-                                    _wire_for_mode(source, objective),
-                                    arrival),
-                area=source.area + inv.area,
-                wire1=source.wire1,
-                wire=source.wire,
-                wire_transitive=source.wire_transitive,
-                arrival=arrival,
-                com=source.com,
-                match=None,
-                inv_source_phase=not phase,
-                inv_source=source)
-            if cand[phase] is None or converted.cost < cand[phase].cost:
-                cand[phase] = converted
+        _apply_conversions(cand, inv, objective)
         for phase in (POS, NEG):
             if cand[phase] is not None:
                 solutions[(v, phase)] = cand[phase]
@@ -214,6 +214,272 @@ def _wire_for_mode(sol: Solution, objective: CoverObjective) -> float:
     if objective.transitive_wire:
         return sol.wire_transitive
     return sol.wire
+
+
+def _apply_conversions(cand: Dict[bool, Optional[Solution]], inv,
+                       objective: CoverObjective) -> None:
+    """Inverter phase conversions, applied to both phases in place.
+
+    A conversion always chains from the opposite phase's *match-based*
+    best, never from another conversion — this keeps realisation
+    acyclic.
+    """
+    match_based = dict(cand)
+    for phase in (POS, NEG):
+        source = match_based[not phase]
+        if source is None:
+            continue
+        arrival = source.arrival + inv.delay(objective.load_estimate)
+        converted = Solution(
+            cost=objective.cost(source.area + inv.area,
+                                _wire_for_mode(source, objective),
+                                arrival),
+            area=source.area + inv.area,
+            wire1=source.wire1,
+            wire=source.wire,
+            wire_transitive=source.wire_transitive,
+            arrival=arrival,
+            com=source.com,
+            match=None,
+            inv_source_phase=not phase,
+            inv_source=source)
+        if cand[phase] is None or converted.cost < cand[phase].cost:
+            cand[phase] = converted
+
+
+class _VertexTable:
+    """Flattened match descriptors for one (vertex, tree) DP step.
+
+    Both phases' candidate lists are concatenated (POS first) so a
+    single batched evaluation scores every match at the vertex; the
+    per-phase winner is the first-occurrence argmin over each slice,
+    which reproduces the reference scan's strict-``<`` selection.
+    Tables depend only on the match lists (never on the objective or
+    the positions), so they are cached on the matcher alongside its
+    match memo and amortize across K points.
+    """
+
+    __slots__ = ("matches", "pos_count", "m", "cell_area", "leaf_groups",
+                 "cons_groups", "leaf_u", "leaf_p", "_delay_cache")
+
+    def __init__(self, matches_by_phase: Dict[bool, List[Match]]):  # noqa: D107
+        matches = list(matches_by_phase[POS]) + list(matches_by_phase[NEG])
+        self.matches = matches
+        self.pos_count = len(matches_by_phase[POS])
+        self.m = len(matches)
+        self._delay_cache: Dict[float, np.ndarray] = {}
+        if not self.m:
+            return
+        self.cell_area = np.array([mt.cell.area for mt in matches],
+                                  dtype=float)
+        by_leaves: Dict[int, List[int]] = {}
+        by_consumed: Dict[int, List[int]] = {}
+        for i, mt in enumerate(matches):
+            by_leaves.setdefault(len(mt.leaves), []).append(i)
+            by_consumed.setdefault(len(mt.consumed), []).append(i)
+        self.leaf_groups = []
+        refs = set()
+        for k, idxs in sorted(by_leaves.items()):
+            idx = np.array(idxs, dtype=np.intp)
+            lu = np.array([[u for _, (u, _) in matches[i].leaves]
+                           for i in idxs], dtype=np.intp).reshape(len(idxs), k)
+            lp = np.array([[int(ph) for _, (_, ph) in matches[i].leaves]
+                           for i in idxs], dtype=np.intp).reshape(len(idxs), k)
+            self.leaf_groups.append((k, idx, lu, lp))
+            for i in idxs:
+                refs.update((u, int(ph)) for _, (u, ph) in matches[i].leaves)
+        self.cons_groups = []
+        for s, idxs in sorted(by_consumed.items()):
+            idx = np.array(idxs, dtype=np.intp)
+            # ``list(frozenset)`` order is what the reference centroid
+            # iterates; capture it verbatim so row sums agree bitwise.
+            cids = np.array([list(matches[i].consumed) for i in idxs],
+                            dtype=np.intp)
+            self.cons_groups.append((idx, cids))
+        ordered = sorted(refs)
+        self.leaf_u = np.array([u for u, _ in ordered], dtype=np.intp)
+        self.leaf_p = np.array([p for _, p in ordered], dtype=np.intp)
+
+    def delays(self, load: float) -> np.ndarray:
+        """Per-match cell delay under the objective's load estimate."""
+        d = self._delay_cache.get(load)
+        if d is None:
+            d = np.array([mt.cell.delay(load) for mt in self.matches],
+                         dtype=float)
+            self._delay_cache[load] = d
+        return d
+
+
+def _vertex_table(matcher: Matcher, vertex: int, frozen,
+                  matches_by_phase: Dict[bool, List[Match]]) -> _VertexTable:
+    cache = getattr(matcher, "_vertex_tables", None)
+    if cache is None:
+        cache = {}
+        matcher._vertex_tables = cache
+    key = (vertex, frozen)
+    table = cache.get(key)
+    if table is None:
+        table = _VertexTable(matches_by_phase)
+        cache[key] = table
+    return table
+
+
+def _cover_vector(network: BaseNetwork, tree: Tree, matcher: Matcher,
+                  library: CellLibrary, objective: CoverObjective,
+                  boundary: BoundaryInfo,
+                  materialized: Set[int]) -> TreeCover:
+    """Array DP over the tree: per-vertex batched match evaluation.
+
+    Evaluates every candidate match at a vertex in one batch of numpy
+    ops — leaf gathers grouped by leaf count, centroids grouped by
+    consumed-set size — instead of one `_evaluate` call per match.  All
+    floating-point summation orders reproduce the reference engine's
+    exactly (sequential leaf sums, ``mean`` over the consumed set in
+    set-iteration order), so the result is bit-identical.
+    """
+    members = tree.members
+    root = tree.root
+    inv = library.inverter
+    positions = boundary.positions
+    X, Y = positions.arrays()
+    euclid = positions.metric == EUCLIDEAN
+    nv = len(positions)
+    load = objective.load_estimate
+    inv_delay = inv.delay(load)
+
+    # Leaf value tables, one row per network vertex, one column per
+    # phase (NEG=0, POS=1): area, wire, transitive wire, arrival, com.
+    L_area = np.empty((nv, 2))
+    L_wire = np.empty((nv, 2))
+    L_wiret = np.empty((nv, 2))
+    L_arr = np.empty((nv, 2))
+    L_cx = np.empty((nv, 2))
+    L_cy = np.empty((nv, 2))
+    L_ok = np.zeros((nv, 2), dtype=bool)
+
+    def is_shared(v: int) -> bool:
+        return v not in members or (v in materialized and v != root)
+
+    def fill_shared(u: int, phase: bool) -> None:
+        """Boundary values for a leaf reference to a materialized net."""
+        if not is_shared(u):
+            raise MappingError(
+                f"no solution for internal vertex {u} phase {phase}")
+        pos = boundary.position(u)
+        arrival = boundary.arrival(u)
+        wire_t = boundary.wire(u)
+        p = int(phase)
+        if phase == POS:
+            L_area[u, p] = 0.0
+            L_arr[u, p] = arrival
+        else:
+            L_area[u, p] = (0.0 if boundary.has_complement(u)
+                            else inv.area)
+            L_arr[u, p] = arrival + inv_delay
+        L_wire[u, p] = 0.0
+        L_wiret[u, p] = wire_t
+        L_cx[u, p] = pos[0]
+        L_cy[u, p] = pos[1]
+        L_ok[u, p] = True
+
+    solutions: Dict[Tuple[int, bool], Solution] = {}
+    frozen = tree.frozen_members()
+    for v in sorted(members):
+        matches = matcher.matches_in_tree(v, frozen)
+        table = _vertex_table(matcher, v, frozen, matches)
+        cand: Dict[bool, Optional[Solution]] = {POS: None, NEG: None}
+        if table.m:
+            missing = ~L_ok[table.leaf_u, table.leaf_p]
+            if missing.any():
+                for u, p in zip(table.leaf_u[missing].tolist(),
+                                table.leaf_p[missing].tolist()):
+                    fill_shared(u, bool(p))
+            m = table.m
+            area = np.empty(m)
+            wire1 = np.empty(m)
+            wire = np.empty(m)
+            wire_t = np.empty(m)
+            arr = np.empty(m)
+            comx = np.empty(m)
+            comy = np.empty(m)
+            for idx, cids in table.cons_groups:
+                comx[idx] = X[cids].mean(axis=1)
+                comy[idx] = Y[cids].mean(axis=1)
+            delays = table.delays(load)
+            for k, idx, lu, lp in table.leaf_groups:
+                if k == 0:
+                    area[idx] = table.cell_area[idx]
+                    wire1[idx] = 0.0
+                    wire[idx] = 0.0
+                    wire_t[idx] = 0.0
+                    arr[idx] = delays[idx]
+                    continue
+                la = L_area[lu, lp]
+                lw = L_wire[lu, lp]
+                lt = L_wiret[lu, lp]
+                lr = L_arr[lu, lp]
+                lx = L_cx[lu, lp]
+                ly = L_cy[lu, lp]
+                cx = comx[idx]
+                cy = comy[idx]
+                if euclid:
+                    w1 = np.hypot(cx - lx[:, 0], cy - ly[:, 0])
+                else:
+                    w1 = np.abs(cx - lx[:, 0]) + np.abs(cy - ly[:, 0])
+                asum = la[:, 0]
+                w2 = lw[:, 0]
+                t2 = lt[:, 0]
+                amax = lr[:, 0]
+                for j in range(1, k):
+                    if euclid:
+                        d = np.hypot(cx - lx[:, j], cy - ly[:, j])
+                    else:
+                        d = np.abs(cx - lx[:, j]) + np.abs(cy - ly[:, j])
+                    w1 = w1 + d
+                    asum = asum + la[:, j]
+                    w2 = w2 + lw[:, j]
+                    t2 = t2 + lt[:, j]
+                    amax = np.maximum(amax, lr[:, j])
+                area[idx] = table.cell_area[idx] + asum
+                wire1[idx] = w1
+                wire[idx] = w1 + w2
+                wire_t[idx] = w1 + t2
+                arr[idx] = amax + delays[idx]
+            wire_scored = wire_t if objective.transitive_wire else wire
+            cost = objective.cost(area, wire_scored, arr)
+
+            def winner(i: int) -> Solution:
+                return Solution(
+                    cost=float(cost[i]), area=float(area[i]),
+                    wire1=float(wire1[i]), wire=float(wire[i]),
+                    wire_transitive=float(wire_t[i]),
+                    arrival=float(arr[i]),
+                    com=(float(comx[i]), float(comy[i])),
+                    match=table.matches[i])
+
+            if table.pos_count:
+                cand[POS] = winner(int(np.argmin(cost[:table.pos_count])))
+            if table.m > table.pos_count:
+                cand[NEG] = winner(table.pos_count
+                                   + int(np.argmin(cost[table.pos_count:])))
+        _apply_conversions(cand, inv, objective)
+        for phase in (POS, NEG):
+            sol = cand[phase]
+            if sol is None:
+                continue
+            solutions[(v, phase)] = sol
+            if not is_shared(v):
+                p = int(phase)
+                L_area[v, p] = sol.area
+                L_wire[v, p] = sol.wire
+                L_wiret[v, p] = sol.wire_transitive
+                L_arr[v, p] = sol.arrival
+                L_cx[v, p] = sol.com[0]
+                L_cy[v, p] = sol.com[1]
+                L_ok[v, p] = True
+    if (root, POS) not in solutions:
+        raise MappingError(f"tree rooted at {root} has no positive cover")
+    return TreeCover(tree, solutions)
 
 
 def _evaluate(match: Match, vertex: int, objective: CoverObjective,

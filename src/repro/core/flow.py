@@ -33,7 +33,8 @@ from ..network.netlist import MappedNetlist
 from ..place.floorplan import Floorplan
 from ..place.placer import Placement, place_base_network, place_netlist
 from ..route.grid import RoutingResources
-from ..route.router import VECTOR, GlobalRouter, RouteCache, RoutingResult
+from ..route.router import AUTO, VECTOR, GlobalRouter, RouteCache, \
+    RoutingResult
 from ..synth.optimize import optimize
 from ..timing.sta import StaticTimingAnalyzer, TimingReport
 from .mapper import MappingResult, map_network
@@ -57,11 +58,15 @@ class FlowConfig:
     everything serial.  Parallel runs are bit-identical to serial ones.
 
     ``route_engine`` selects the global-routing implementation
-    (``"vector"`` — the numpy flat-edge engine — or ``"reference"``,
-    the per-edge oracle; both produce identical results).
+    (``"vector"`` — the numpy flat-edge engine — ``"reference"``, the
+    per-edge oracle, or ``"auto"``, which picks per problem size; all
+    produce identical results).
     ``route_reuse`` enables cross-K route warm-starting in the serial
     sweep loops: nets whose pin GCell signature is unchanged between
     adjacent K netlists start from the previous K's final route.
+    ``place_engine`` selects the placement/covering compute engine
+    (``"vector"`` — batched numpy kernels — or ``"reference"``, the
+    scalar oracles; bit-identical results either way).
     """
 
     library: CellLibrary
@@ -73,8 +78,9 @@ class FlowConfig:
     seed: int = 0
     place_attempts: int = 1
     workers: int = 1
-    route_engine: str = VECTOR
+    route_engine: str = AUTO
     route_reuse: bool = True
+    place_engine: str = VECTOR
 
 
 @dataclass
@@ -121,12 +127,13 @@ def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
     netlist, floorplan, config, seed_positions, k, area, route_cache = payload
     seed = derive_seed(config.seed, attempt)
     tracer = Tracer("attempt", attempt=attempt)
+    place_timings: Dict[str, float] = {}
     with tracer.span("place") as sp_place:
         placement = place_netlist(
             netlist, config.library, floorplan,
             seed_positions=(seed_positions if config.use_seed_positions
                             else None),
-            seed=seed)
+            seed=seed, engine=config.place_engine, timings=place_timings)
     router = GlobalRouter(floorplan, config.resources,
                           gcell_rows=config.gcell_rows,
                           max_iterations=config.max_route_iterations,
@@ -139,6 +146,8 @@ def _placement_attempt(payload: Tuple[Any, ...], attempt: int) -> EvalPoint:
     stats = StatsRegistry()
     stats.time("eval.t_place", sp_place.duration)
     stats.time("eval.t_route", sp_route.duration)
+    for phase, seconds in sorted(place_timings.items()):
+        stats.time(f"place.{phase}", seconds)
     stats.absorb(routing.stats)
     return EvalPoint(
         k=k, cell_area=area, num_cells=netlist.num_cells(),
@@ -218,7 +227,14 @@ def evaluate_netlist(netlist: MappedNetlist, floorplan: Floorplan,
             if best.violations == 0:
                 break
         assert best is not None
-    if route_cache is not None and best.routing is not None:
+    # Only clean routings refresh the cache.  Warm-starting the next K
+    # point's negotiation from a *congested* snapshot poisons it — the
+    # router inherits overflow history it cannot unwind and lands on
+    # strictly worse solutions than a cold start (the figure3
+    # non-convergence regression).  A failed point therefore leaves the
+    # last known-good routes in place.
+    if route_cache is not None and best.routing is not None \
+            and best.routing.violations == 0:
         route_cache.store(best.routing)
     tracer.adopt(best.trace)
     best.trace = tracer.close()
@@ -245,7 +261,8 @@ def run_k_point(base: BaseNetwork, positions: PositionMap,
         mapping = map_network(base, config.library, objective,
                               partition_style=config.partition_style,
                               positions=positions,
-                              partition=partition, matcher=matcher)
+                              partition=partition, matcher=matcher,
+                              engine=config.place_engine)
     sp_map.counters.absorb(mapping.stats)
     point = evaluate_netlist(mapping.netlist, floorplan, config,
                              seed_positions=mapping.instance_positions, k=k,
@@ -313,7 +330,8 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
     paths.
     """
     if positions is None:
-        positions = place_base_network(base, floorplan, seed=config.seed)
+        positions = place_base_network(base, floorplan, seed=config.seed,
+                                       engine=config.place_engine)
     nworkers = max(1, config.workers if workers is None else workers)
     part = make_partition(base, config.partition_style, positions=positions)
     payload = (base, positions, floorplan, config, part)
@@ -382,7 +400,8 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
     are the evaluated K points' subtrees in schedule order.
     """
     if positions is None:
-        positions = place_base_network(base, floorplan, seed=config.seed)
+        positions = place_base_network(base, floorplan, seed=config.seed,
+                                       engine=config.place_engine)
     # The loop is inherently sequential (each K's verdict gates the
     # next), but the K-independent work — partition and match
     # enumeration — is still hoisted out of it, and routes of unchanged

@@ -26,6 +26,7 @@ from ..obs import StatsRegistry
 from ..network.dag import BaseNetwork
 from ..network.netlist import MappedNetlist
 from .covering import BoundaryInfo, TreeCover, cover_tree
+from .covering import VECTOR as VECTOR_COVER
 from .matching import Matcher, POS
 from .objectives import CoverObjective, min_area
 from .partition import (
@@ -88,11 +89,13 @@ class TechnologyMapper:
                  positions: Optional[PositionMap] = None,
                  max_tree_size: Optional[int] = None,
                  partition: Optional[Partition] = None,
-                 matcher: Optional[Matcher] = None):  # noqa: D107
+                 matcher: Optional[Matcher] = None,
+                 engine: str = VECTOR_COVER):  # noqa: D107
         self.network = network
         self.library = library
         self.objective = objective or min_area()
         self.partition_style = partition_style
+        self.engine = engine
         needs_positions = (partition_style == PLACEMENT
                            or self.objective.uses_positions)
         if positions is None:
@@ -125,10 +128,14 @@ class TechnologyMapper:
         builder = _NetlistBuilder(network, self.library, part,
                                   self.positions, self.objective)
         t0 = time.perf_counter()
+        t_dp = 0.0
         for root in part.roots:
+            t1 = time.perf_counter()
             cover = cover_tree(network, part.trees[root], matcher,
                                self.library, self.objective,
-                               builder.boundary, part.materialized)
+                               builder.boundary, part.materialized,
+                               engine=self.engine)
+            t_dp += time.perf_counter() - t1
             builder.commit_tree(cover)
         t_cover = time.perf_counter() - t0
         t0 = time.perf_counter()
@@ -137,6 +144,8 @@ class TechnologyMapper:
         misses = matcher.stats["match_cache_misses"] - misses0
         result.stats.time("map.t_partition", t_partition)
         result.stats.time("map.t_cover", t_cover)
+        result.stats.time("cover.t_dp", t_dp)
+        result.stats.count("cover.trees", len(part.roots))
         result.stats.time("map.t_build", time.perf_counter() - t0)
         # Hits/misses depend on how warm the shared memo is (which K
         # points a process ran before); their sum — the number of match
@@ -329,11 +338,13 @@ def map_network(network: BaseNetwork, library: CellLibrary,
                 positions: Optional[PositionMap] = None,
                 max_tree_size: Optional[int] = None,
                 partition: Optional[Partition] = None,
-                matcher: Optional[Matcher] = None) -> MappingResult:
+                matcher: Optional[Matcher] = None,
+                engine: str = VECTOR_COVER) -> MappingResult:
     """One-call convenience wrapper around :class:`TechnologyMapper`."""
     mapper = TechnologyMapper(network, library, objective=objective,
                               partition_style=partition_style,
                               positions=positions,
                               max_tree_size=max_tree_size,
-                              partition=partition, matcher=matcher)
+                              partition=partition, matcher=matcher,
+                              engine=engine)
     return mapper.run()

@@ -72,6 +72,14 @@ class PositionMap:
         self._x[ids] = com[0]
         self._y[ids] = com[1]
 
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The underlying (x, y) coordinate arrays.
+
+        Exposed for the vectorized covering/placement engines, which
+        gather many positions per step; treat the arrays as read-only.
+        """
+        return self._x, self._y
+
     def dist(self, a: Point, b: Point) -> float:
         """Distance under this map's metric."""
         return distance(a, b, self.metric)

@@ -18,6 +18,10 @@ from .floorplan import Floorplan
 
 Point = Tuple[float, float]
 
+#: Annealing engines: batched HPWL delta evaluation vs per-net loops.
+VECTOR = "vector"
+REFERENCE = "reference"
+
 
 def hpwl(positions: np.ndarray, nets: Sequence[Sequence[int]],
          fixed: Sequence[Sequence[Point]]) -> float:
@@ -37,17 +41,24 @@ def hpwl(positions: np.ndarray, nets: Sequence[Sequence[int]],
 def anneal(positions: np.ndarray, nets: Sequence[Sequence[int]],
            fixed: Sequence[Sequence[Point]], floorplan: Floorplan,
            moves: int = 20_000, seed: int = 0,
-           start_temp: Optional[float] = None) -> np.ndarray:
+           start_temp: Optional[float] = None,
+           engine: str = VECTOR) -> np.ndarray:
     """Anneal by swapping cell positions; returns improved positions.
 
     Swapping positions of equal-footprint treatment keeps legality
     approximately intact for the uniform-size use case (base networks);
     for mapped netlists run :func:`repro.place.legalize.legalize_rows`
-    afterwards.
+    afterwards.  ``engine="vector"`` evaluates the touched nets of each
+    move with one batched gather over padded per-net index arrays and
+    caches accepted net lengths; the RNG call sequence and every
+    accept/reject decision match the reference bit for bit.
     """
     n = positions.shape[0]
     if n < 2 or moves <= 0:
         return positions.copy()
+    if engine == VECTOR:
+        return _anneal_vector(positions, nets, fixed, moves, seed,
+                              start_temp)
     rng = random.Random(seed)
     pos = positions.astype(float).copy()
 
@@ -81,6 +92,81 @@ def anneal(positions: np.ndarray, nets: Sequence[Sequence[int]],
         delta = after - before
         if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
             current += delta
+        else:
+            pos[[a, b]] = pos[[b, a]]
+        temp *= cooling
+    return pos
+
+
+def _anneal_vector(positions: np.ndarray, nets: Sequence[Sequence[int]],
+                   fixed: Sequence[Sequence[Point]], moves: int,
+                   seed: int, start_temp: Optional[float]) -> np.ndarray:
+    """Batched annealer.
+
+    Net extents come from padded (net, pin) index arrays masked with
+    ±inf; pad (fixed-terminal) extrema are folded in as precomputed
+    per-net scalars.  Accepted lengths are cached, so each move costs
+    one gather over the touched nets instead of fresh Python loops over
+    every pin.  ``max``/``min`` are reduction-order independent and the
+    touched-net sums run sequentially over Python floats, keeping every
+    delta bitwise equal to the reference's.
+    """
+    n = positions.shape[0]
+    rng = random.Random(seed)
+    pos = positions.astype(float).copy()
+    num_nets = len(nets)
+
+    dmax = max((len(m) for m in nets), default=0) or 1
+    mov = np.zeros((num_nets, dmax), dtype=np.intp)
+    mask = np.zeros((num_nets, dmax), dtype=bool)
+    pad_max = np.full((num_nets, 2), -np.inf)
+    pad_min = np.full((num_nets, 2), np.inf)
+    active = np.zeros(num_nets, dtype=bool)
+    nets_of: Dict[int, List[int]] = {}
+    for net_id, movables in enumerate(nets):
+        for cell in movables:
+            nets_of.setdefault(cell, []).append(net_id)
+        k = len(movables)
+        mov[net_id, :k] = movables
+        mask[net_id, :k] = True
+        pads = fixed[net_id]
+        if pads:
+            pad_max[net_id, 0] = max(p[0] for p in pads)
+            pad_min[net_id, 0] = min(p[0] for p in pads)
+            pad_max[net_id, 1] = max(p[1] for p in pads)
+            pad_min[net_id, 1] = min(p[1] for p in pads)
+        active[net_id] = (k + len(pads)) >= 2
+
+    def batch_lens(ids: np.ndarray) -> np.ndarray:
+        pins = mov[ids]
+        m = mask[ids]
+        xy = pos[pins]                                     # (t, d, 2)
+        hi = np.where(m[:, :, None], xy, -np.inf).max(axis=1)
+        lo = np.where(m[:, :, None], xy, np.inf).min(axis=1)
+        hi = np.maximum(hi, pad_max[ids])
+        lo = np.minimum(lo, pad_min[ids])
+        span = (hi[:, 0] - lo[:, 0]) + (hi[:, 1] - lo[:, 1])
+        return np.where(active[ids], span, 0.0)
+
+    cached = batch_lens(np.arange(num_nets))
+    current = sum(cached.tolist())
+    temp = start_temp if start_temp is not None \
+        else current / max(1, num_nets) or 1.0
+    cooling = 0.98 ** (1.0 / max(1, moves // 100))
+    for _ in range(moves):
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b:
+            continue
+        touched = sorted(set(nets_of.get(a, []) + nets_of.get(b, [])))
+        tids = np.asarray(touched, dtype=np.intp)
+        before = sum(cached[tids].tolist())
+        pos[[a, b]] = pos[[b, a]]
+        new_lens = batch_lens(tids)
+        after = sum(new_lens.tolist())
+        delta = after - before
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
+            cached[tids] = new_lens
         else:
             pos[[a, b]] = pos[[b, a]]
         temp *= cooling

@@ -20,13 +20,14 @@ timing-driven tools of the paper's era.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence, Set, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..errors import PlacementError
 from .floorplan import Floorplan
-from .quadratic import QpNet, solve_quadratic
+from .quadratic import QpNet, VECTOR, solve_quadratic
 
 Point = Tuple[float, float]
 
@@ -40,12 +41,15 @@ BALANCE_SLACK = 0.12
 
 def mincut_place(num_cells: int, nets: Sequence[QpNet],
                  widths: Sequence[float], floorplan: Floorplan,
-                 seed: int = 0) -> np.ndarray:
+                 seed: int = 0, engine: str = VECTOR,
+                 timings: Optional[Dict[str, float]] = None) -> np.ndarray:
     """Place ``num_cells`` cells; returns (n, 2) center positions.
 
     ``nets`` use the same structure as the quadratic solver (movable
     indices + fixed points), so the two global placers are
-    interchangeable.
+    interchangeable.  ``engine`` selects the assembly engine of the
+    seeding quadratic solve; ``timings`` accumulates per-phase seconds
+    (``t_quadratic`` for the seed solve, ``t_mincut`` for FM).
     """
     if num_cells == 0:
         return np.zeros((0, 2))
@@ -53,7 +57,12 @@ def mincut_place(num_cells: int, nets: Sequence[QpNet],
     if widths_arr.shape[0] != num_cells:
         raise PlacementError("widths length does not match cell count")
     center = (floorplan.width / 2.0, floorplan.height / 2.0)
-    guess = solve_quadratic(num_cells, nets, default=center)
+    t0 = time.perf_counter()
+    guess = solve_quadratic(num_cells, nets, default=center, engine=engine)
+    if timings is not None:
+        timings["t_quadratic"] = timings.get("t_quadratic", 0.0) \
+            + (time.perf_counter() - t0)
+    t0 = time.perf_counter()
     if seed:
         # Seeded jitter diversifies FM tie-breaking so callers can take
         # the best of several placement attempts.
@@ -99,6 +108,9 @@ def mincut_place(num_cells: int, nets: Sequence[QpNet],
             for c in group:
                 region_center[c] = (cx, cy)
             stack.append((group, gx0, gy0, gx1, gy1))
+    if timings is not None:
+        timings["t_mincut"] = timings.get("t_mincut", 0.0) \
+            + (time.perf_counter() - t0)
     return out
 
 

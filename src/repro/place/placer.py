@@ -13,6 +13,7 @@ Two entry points:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -35,11 +36,26 @@ GLOBAL_ITERATIONS = 3
 #: Anchor-net weight schedule per iteration (pull toward spread slots).
 ANCHOR_WEIGHTS = (0.12, 0.30, 0.60)
 
+#: Placement engines (threaded through to every kernel).
+VECTOR = "vector"
+REFERENCE = "reference"
+
+#: Per-phase timing accumulator: phase key -> seconds.
+Timings = Dict[str, float]
+
+
+def _tick(timings: Optional[Timings], key: str, t0: float) -> None:
+    """Accumulate elapsed wall time since ``t0`` under ``key``."""
+    if timings is not None:
+        timings[key] = timings.get(key, 0.0) + (time.perf_counter() - t0)
+
 
 def _global_place(num_movable: int, nets: List[QpNet], floorplan: Floorplan,
                   weights: Optional[np.ndarray] = None,
                   iterations: int = GLOBAL_ITERATIONS,
-                  method: str = "mincut", seed: int = 0) -> np.ndarray:
+                  method: str = "mincut", seed: int = 0,
+                  engine: str = VECTOR,
+                  timings: Optional[Timings] = None) -> np.ndarray:
     """Global placement: min-cut bisection (default) or iterated quadratic.
 
     ``method="mincut"`` runs the FM recursive-bisection placer seeded by
@@ -50,12 +66,16 @@ def _global_place(num_movable: int, nets: List[QpNet], floorplan: Floorplan,
     if method == "mincut":
         cell_widths = weights if weights is not None else np.ones(num_movable)
         return mincut_place(num_movable, nets, cell_widths, floorplan,
-                            seed=seed)
+                            seed=seed, engine=engine, timings=timings)
     if method != "quadratic":
         raise PlacementError(f"unknown placement method {method!r}")
     center = (floorplan.width / 2.0, floorplan.height / 2.0)
-    solved = solve_quadratic(num_movable, nets, default=center)
-    spread_pos = spread(solved, floorplan, weights=weights)
+    t0 = time.perf_counter()
+    solved = solve_quadratic(num_movable, nets, default=center, engine=engine)
+    _tick(timings, "t_quadratic", t0)
+    t0 = time.perf_counter()
+    spread_pos = spread(solved, floorplan, weights=weights, engine=engine)
+    _tick(timings, "t_spread", t0)
     for round_ in range(1, iterations):
         weight = ANCHOR_WEIGHTS[min(round_ - 1, len(ANCHOR_WEIGHTS) - 1)]
         anchored = list(nets)
@@ -67,9 +87,14 @@ def _global_place(num_movable: int, nets: List[QpNet], floorplan: Floorplan,
         # Scale anchor influence by duplicating the weight through the
         # clique weight formula: a 2-pin net has weight 1, so emulate a
         # weaker pull by mixing previous and new solutions instead.
-        solved_new = solve_quadratic(num_movable, anchored, default=center)
+        t0 = time.perf_counter()
+        solved_new = solve_quadratic(num_movable, anchored, default=center,
+                                     engine=engine)
+        _tick(timings, "t_quadratic", t0)
         solved = (1.0 - weight) * solved_new + weight * spread_pos
-        spread_pos = spread(solved, floorplan, weights=weights)
+        t0 = time.perf_counter()
+        spread_pos = spread(solved, floorplan, weights=weights, engine=engine)
+        _tick(timings, "t_spread", t0)
     return spread_pos
 
 
@@ -122,7 +147,9 @@ class Placement:
 
 
 def place_base_network(network: BaseNetwork, floorplan: Floorplan,
-                       seed: int = 0, method: str = "mincut") -> PositionMap:
+                       seed: int = 0, method: str = "mincut",
+                       engine: str = VECTOR,
+                       timings: Optional[Timings] = None) -> PositionMap:
     """Place the technology-independent network on the layout image.
 
     Returns a :class:`PositionMap` over *all* vertices: primary inputs
@@ -154,7 +181,8 @@ def place_base_network(network: BaseNetwork, floorplan: Floorplan,
             nets.append(QpNet(movables=movables, fixed=fixed))
 
     spread_pos = _global_place(len(gate_ids), nets, floorplan,
-                               method=method, seed=seed)
+                               method=method, seed=seed, engine=engine,
+                               timings=timings)
 
     points: List[Point] = [(0.0, 0.0)] * num_vertices
     for name, v in network.input_vertex.items():
@@ -168,7 +196,8 @@ def place_netlist(netlist: MappedNetlist, library: CellLibrary,
                   floorplan: Floorplan,
                   seed_positions: Optional[Dict[str, Point]] = None,
                   anneal_moves: int = 0, seed: int = 0,
-                  method: str = "mincut") -> Placement:
+                  method: str = "mincut", engine: str = VECTOR,
+                  timings: Optional[Timings] = None) -> Placement:
     """Place a mapped netlist: quadratic + spreading + legalization.
 
     ``seed_positions`` (e.g. match centers of mass from the mapper) bias
@@ -210,13 +239,17 @@ def place_netlist(netlist: MappedNetlist, library: CellLibrary,
 
     spread_pos = _global_place(len(inst_names), nets, floorplan,
                                weights=np.asarray(widths), method=method,
-                               seed=seed)
+                               seed=seed, engine=engine, timings=timings)
     if anneal_moves > 0:
         net_movables = [n.movables for n in nets]
         net_fixed = [n.fixed for n in nets]
+        t0 = time.perf_counter()
         spread_pos = anneal(spread_pos, net_movables, net_fixed, floorplan,
-                            moves=anneal_moves, seed=seed)
-    legal = legalize_rows(spread_pos, widths, floorplan)
+                            moves=anneal_moves, seed=seed, engine=engine)
+        _tick(timings, "t_anneal", t0)
+    t0 = time.perf_counter()
+    legal = legalize_rows(spread_pos, widths, floorplan, engine=engine)
+    _tick(timings, "t_legalize", t0)
     check_legal(legal, widths, floorplan)
     positions = {name: (float(legal[i, 0]), float(legal[i, 1]))
                  for name, i in index.items()}

@@ -10,7 +10,7 @@ analytical placers.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,14 +19,22 @@ from .floorplan import Floorplan
 #: Stop recursing below this population and scale cells into the region.
 LEAF_POPULATION = 4
 
+#: Spreading engines: level-batched sorting vs the recursive oracle.
+VECTOR = "vector"
+REFERENCE = "reference"
+
 
 def spread(positions: np.ndarray, floorplan: Floorplan,
-           weights: Optional[np.ndarray] = None) -> np.ndarray:
+           weights: Optional[np.ndarray] = None,
+           engine: str = VECTOR) -> np.ndarray:
     """Spread ``positions`` (n, 2) uniformly over the core.
 
     ``weights`` (cell areas) bias the split so each sub-region receives
     population proportional to its capacity; uniform when omitted.
-    Returns a new (n, 2) array.
+    Returns a new (n, 2) array.  ``engine="vector"`` batches every
+    region of a recursion level into one stable lexsort and scales all
+    leaf regions together; results are bit-identical to the recursive
+    reference.
     """
     n = positions.shape[0]
     if n == 0:
@@ -34,10 +42,105 @@ def spread(positions: np.ndarray, floorplan: Floorplan,
     if weights is None:
         weights = np.ones(n)
     out = positions.astype(float).copy()
+    if engine == VECTOR:
+        _spread_vector(out, weights, floorplan)
+        return out
     index = np.arange(n)
     _spread_region(out, index, weights,
                    0.0, 0.0, floorplan.width, floorplan.height, vertical=True)
     return out
+
+
+def _spread_vector(out: np.ndarray, weights: np.ndarray,
+                   floorplan: Floorplan) -> None:
+    """Level-synchronous median bisection.
+
+    Each level concatenates every active region's cells, sorts them all
+    with ONE stable lexsort keyed (region, split coordinate) — which
+    reproduces each region's own stable argsort, including the tie
+    order inherited from the previous level — and then performs the
+    cheap scalar split bookkeeping per region.  Leaf regions are
+    collected and min-max scaled in one batch per population size.
+    """
+    n = out.shape[0]
+    regions: List[Tuple[np.ndarray, float, float, float, float, bool]] = [
+        (np.arange(n), 0.0, 0.0, floorplan.width, floorplan.height, True)]
+    leaves: Dict[int, List[Tuple[np.ndarray, float, float, float, float]]] = {}
+    while regions:
+        live: List[Tuple[np.ndarray, float, float, float, float, bool]] = []
+        for region in regions:
+            index = region[0]
+            if index.size == 0:
+                continue
+            if index.size <= LEAF_POPULATION:
+                leaves.setdefault(index.size, []).append(region[:5])
+            else:
+                live.append(region)
+        if not live:
+            break
+        # One stable sort for every region at this level.  The sort key
+        # is (region ordinal, coordinate on that region's split axis);
+        # stability makes ties fall back to the concatenation order,
+        # i.e. each region's previous ordering — exactly what the
+        # per-region stable argsort of the reference sees.
+        axes: List[bool] = []
+        for i, (index, x0, y0, x1, y1, vertical) in enumerate(live):
+            if (x1 - x0) > 1.5 * (y1 - y0):
+                vertical = True
+            elif (y1 - y0) > 1.5 * (x1 - x0):
+                vertical = False
+            axes.append(vertical)
+        cat = np.concatenate([r[0] for r in live])
+        rid = np.repeat(np.arange(len(live)),
+                        [r[0].size for r in live])
+        axis_of = np.array([0 if v else 1 for v in axes])
+        coord = out[cat, axis_of[rid]]
+        order = np.lexsort((coord, rid))
+        cat = cat[order]
+        starts = np.concatenate(
+            [[0], np.cumsum([r[0].size for r in live])])
+        regions = []
+        for i, (region, vertical) in enumerate(zip(live, axes)):
+            _, x0, y0, x1, y1, _ = region
+            ordered = cat[starts[i]:starts[i + 1]]
+            w = weights[ordered]
+            total = w.sum()
+            half = np.searchsorted(np.cumsum(w), total / 2.0) + 1
+            half = min(max(int(half), 1), ordered.size - 1)
+            left, right = ordered[:half], ordered[half:]
+            frac = weights[left].sum() / total if total > 0 else 0.5
+            frac = min(max(frac, 0.05), 0.95)
+            if vertical:
+                xm = x0 + (x1 - x0) * frac
+                regions.append((left, x0, y0, xm, y1, False))
+                regions.append((right, xm, y0, x1, y1, False))
+            else:
+                ym = y0 + (y1 - y0) * frac
+                regions.append((left, x0, y0, x1, ym, True))
+                regions.append((right, x0, ym, x1, y1, True))
+    for size, group in sorted(leaves.items()):
+        _scale_leaves(out, group)
+
+
+def _scale_leaves(out: np.ndarray,
+                  group: List[Tuple[np.ndarray, float, float, float, float]]
+                  ) -> None:
+    """Batched min-max scaling of same-population leaf regions."""
+    idx = np.stack([g[0] for g in group])                   # (g, s)
+    bounds = np.array([g[1:] for g in group], dtype=float)  # (g, 4)
+    for axis in (0, 1):
+        lo = bounds[:, axis]
+        hi = bounds[:, axis + 2]
+        coords = out[idx, axis]                             # (g, s)
+        cmin = coords.min(axis=1)
+        span = coords.max(axis=1) - cmin
+        pad = 0.25 * (hi - lo)
+        degenerate = span < 1e-12
+        safe_span = np.where(degenerate, 1.0, span)
+        scaled = (lo + pad)[:, None] + (coords - cmin[:, None]) \
+            / safe_span[:, None] * ((hi - pad) - (lo + pad))[:, None]
+        centered = ((lo + hi) / 2.0)[:, None]
+        out[idx, axis] = np.where(degenerate[:, None], centered, scaled)
 
 
 def _spread_region(out: np.ndarray, index: np.ndarray, weights: np.ndarray,

@@ -104,10 +104,18 @@ class RoutingGrid:
     # -- coordinate mapping -----------------------------------------------
 
     def gcell_of(self, point: Point) -> GCell:
-        """The GCell containing a die point (clamped to the core)."""
-        x = int(np.clip(point[0] / self.gw, 0, self.nx - 1))
-        y = int(np.clip(point[1] / self.gh, 0, self.ny - 1))
-        return (x, y)
+        """The GCell containing a die point (clamped to the core).
+
+        Pure-scalar clamping: this runs once per pin per routing call,
+        and ``np.clip`` on scalars costs microseconds — enough to
+        dominate router init on small designs.
+        """
+        x = point[0] / self.gw
+        y = point[1] / self.gh
+        nx1 = self.nx - 1
+        ny1 = self.ny - 1
+        return (int(x if x < nx1 else nx1) if x > 0 else 0,
+                int(y if y < ny1 else ny1) if y > 0 else 0)
 
     def gcell_center(self, cell: GCell) -> Point:
         """Die coordinates of a GCell center."""

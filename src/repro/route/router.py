@@ -66,7 +66,15 @@ Signature = Tuple[GCell, ...]
 #: Engine names.
 VECTOR = "vector"
 REFERENCE = "reference"
-ENGINES = (VECTOR, REFERENCE)
+AUTO = "auto"
+ENGINES = (VECTOR, REFERENCE, AUTO)
+
+#: ``engine="auto"`` routes designs below this many nets through the
+#: per-edge reference engine (lower fixed cost) and everything else
+#: through the vectorized engine.  Both engines produce bit-identical
+#: results, so the split is purely a wall-clock calibration (see
+#: benchmarks/bench_scaling.py::test_routing_engines).
+AUTO_NET_THRESHOLD = 64
 
 #: Overflow-penalty growth per negotiation round.
 PENALTY_STEP = 4.0
@@ -221,7 +229,11 @@ class GlobalRouter:
         """
         grid = RoutingGrid(self.floorplan, self.resources, self.gcell_rows)
         warm = cache.warm_routes(grid) if cache is not None else {}
-        if self.engine == REFERENCE:
+        engine = self.engine
+        if engine == AUTO:
+            engine = (REFERENCE if len(net_points) < AUTO_NET_THRESHOLD
+                      else VECTOR)
+        if engine == REFERENCE:
             from .reference import route_reference
             return route_reference(self, grid, net_points, warm)
         return self._route_vector(grid, net_points, warm)
@@ -377,18 +389,20 @@ def _best_l_ids(grid: RoutingGrid, a: GCell, b: GCell) -> np.ndarray:
         return _h_run_ids(grid, x_lo, x_hi, ay)
     if ax == bx:                       # straight vertical
         return _v_run_ids(grid, ax, y_lo, y_hi)
-    demand = grid.demand_flat
-    h_first_h = _h_run_ids(grid, x_lo, x_hi, ay)
-    h_first_v = _v_run_ids(grid, bx, y_lo, y_hi)
-    v_first_v = _v_run_ids(grid, ax, y_lo, y_hi)
-    v_first_h = _h_run_ids(grid, x_lo, x_hi, by)
-    load_h = (int(demand[h_first_h].sum()) / grid.hcap
-              + int(demand[h_first_v].sum()) / grid.vcap)
-    load_v = (int(demand[v_first_h].sum()) / grid.hcap
-              + int(demand[v_first_v].sum()) / grid.vcap)
+    # Loads come from strided 2-D demand slices — no index arrays are
+    # materialised for the losing candidate (int32 sums promote to
+    # int64, so the totals equal the flat-gather formulation exactly).
+    dh = grid.demand[HORIZONTAL]
+    dv = grid.demand[VERTICAL]
+    load_h = (int(dh[x_lo:x_hi, ay].sum()) / grid.hcap
+              + int(dv[bx, y_lo:y_hi].sum()) / grid.vcap)
+    load_v = (int(dh[x_lo:x_hi, by].sum()) / grid.hcap
+              + int(dv[ax, y_lo:y_hi].sum()) / grid.vcap)
     if load_h <= load_v:
-        return np.concatenate([h_first_h, h_first_v])
-    return np.concatenate([v_first_v, v_first_h])
+        return np.concatenate([_h_run_ids(grid, x_lo, x_hi, ay),
+                               _v_run_ids(grid, bx, y_lo, y_hi)])
+    return np.concatenate([_v_run_ids(grid, ax, y_lo, y_hi),
+                           _h_run_ids(grid, x_lo, x_hi, by)])
 
 
 def _maze_ids(grid: RoutingGrid, a: GCell, b: GCell,

@@ -251,6 +251,53 @@ class TestCrossKRouteReuse:
         assert point.stats["route.t_negotiate"] >= 0.0
 
 
+class TestRouteCacheGating:
+    """Only *clean* routings may refresh the cross-K cache.
+
+    Regression for the figure3 non-convergence: warm-starting the next
+    K point's negotiation from a congested snapshot poisons it with
+    overflow history the router cannot unwind.
+    """
+
+    def test_congested_result_does_not_refresh_cache(self, flow_setup,
+                                                     monkeypatch):
+        import repro.core.flow as flow_mod
+        from repro.route import RouteCache
+
+        base, config, floorplan, positions = flow_setup
+        mapping = flow_mod.map_network(
+            base, config.library, partition_style="dagon")
+        real_router = flow_mod.GlobalRouter
+
+        class CongestedRouter(real_router):
+            def route(self, points, cache=None):
+                routing = super().route(points, cache=cache)
+                routing.violations = 7
+                return routing
+
+        monkeypatch.setattr(flow_mod, "GlobalRouter", CongestedRouter)
+        cache = RouteCache()
+        flow_mod.evaluate_netlist(mapping.netlist, floorplan, config,
+                                  route_cache=cache)
+        assert cache.routes == {}, \
+            "a congested routing must not be stored for warm-starting"
+
+    def test_clean_result_refreshes_cache(self, flow_setup):
+        import repro.core.flow as flow_mod
+        from repro.route import RouteCache
+
+        base, config, floorplan, positions = flow_setup
+        mapping = flow_mod.map_network(
+            base, config.library, partition_style="dagon")
+        cache = RouteCache()
+        point = flow_mod.evaluate_netlist(mapping.netlist, floorplan,
+                                          config, route_cache=cache)
+        if point.violations == 0:
+            assert len(cache.routes) > 0
+        else:
+            assert cache.routes == {}
+
+
 class TestFlowTracing:
     """The flow drivers thread the run tracer through every stage."""
 

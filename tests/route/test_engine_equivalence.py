@@ -13,9 +13,11 @@ from repro.place import Floorplan
 from repro.route import (
     GlobalRouter,
     RouteCache,
+    RoutingGrid,
     RoutingResources,
     victim_order,
 )
+from repro.route.steiner import gcell_signature
 
 FLOORPLAN = Floorplan(width=104.0, row_height=5.2, num_rows=20)
 
@@ -194,3 +196,89 @@ class TestRouteCache:
         result = ref.route(nets, cache=cache)
         assert result.stats["routes_reused"] == len(nets)
         assert result.violations == 0
+
+    def test_cross_gcell_move_invalidates(self):
+        """A pin moved into another GCell changes the net's signature,
+        so its cached route must NOT warm-start the new net."""
+        nets = random_nets(10, count=40)
+        cache = RouteCache()
+        router = GlobalRouter(FLOORPLAN, max_iterations=6)
+        cache.store(router.route(nets, cache=cache))
+
+        grid = RoutingGrid(FLOORPLAN, AMPLE, gcell_rows=2)
+        moved = dict(nets)
+        old_pin = moved["n3"][0]
+        new_pin = (old_pin[0], (old_pin[1] + 52.0) % 104.0)
+        assert grid.gcell_of(new_pin) != grid.gcell_of(old_pin)
+        moved["n3"] = [new_pin] + list(moved["n3"][1:])
+
+        result = router.route(moved, cache=cache)
+        assert result.stats["routes_reused"] == len(moved) - 1
+        # The moved net's fresh route matches a cold route of the same
+        # net set (reuse may not leak the stale geometry in).
+        cold = router.route(moved)
+        assert sorted(result.routes["n3"].edges) == \
+            sorted(cold.routes["n3"].edges)
+
+    def test_intra_gcell_move_reuses(self):
+        """A move within the same GCell keeps the signature — the
+        cached route stays valid and is reused."""
+        nets = random_nets(11, count=40)
+        cache = RouteCache()
+        router = GlobalRouter(FLOORPLAN, max_iterations=6)
+        cache.store(router.route(nets, cache=cache))
+
+        grid = RoutingGrid(FLOORPLAN, AMPLE, gcell_rows=2)
+        moved = dict(nets)
+        old_pin = moved["n3"][0]
+        cell = grid.gcell_of(old_pin)
+        new_pin = (cell[0] * grid.gw + 0.25 * grid.gw,
+                   cell[1] * grid.gh + 0.25 * grid.gh)
+        assert grid.gcell_of(new_pin) == cell
+        moved["n3"] = [new_pin] + list(moved["n3"][1:])
+
+        result = router.route(moved, cache=cache)
+        assert result.stats["routes_reused"] == len(moved)
+
+    def test_store_replaces_stale_routes(self):
+        """store() snapshots exactly the latest result: old signatures
+        vanish, so a deleted net cannot resurrect a stale route."""
+        nets = random_nets(12, count=20)
+        cache = RouteCache()
+        router = GlobalRouter(FLOORPLAN, max_iterations=6)
+        cache.store(router.route(nets, cache=cache))
+        assert len(cache.routes) == len(nets)
+
+        kept = {k: v for k, v in nets.items() if k not in ("n0", "n1")}
+        cache.store(router.route(kept, cache=cache))
+        assert len(cache.routes) == len(kept)
+        grid = RoutingGrid(FLOORPLAN, AMPLE, 2)
+        signatures = {gcell_signature([grid.gcell_of(p) for p in pins])
+                      for pins in kept.values()}
+        assert set(cache.routes) == signatures
+
+
+class TestAutoEngine:
+    """--route-engine auto: pick by design size, identical results."""
+
+    def test_auto_matches_both_engines(self):
+        for count in (20, 100):            # straddles AUTO_NET_THRESHOLD
+            nets = random_nets(13, count=count)
+            auto = GlobalRouter(FLOORPLAN, AMPLE, max_iterations=6,
+                                engine="auto")
+            vec, ref = routers(AMPLE)
+            a, v, r = auto.route(nets), vec.route(nets), ref.route(nets)
+            for other in (v, r):
+                assert a.violations == other.violations
+                assert a.total_wirelength == other.total_wirelength
+                assert a.iterations == other.iterations
+
+    def test_auto_is_the_default_flow_engine(self):
+        from repro.core.flow import FlowConfig
+        from repro.library import CORELIB018
+        assert FlowConfig(library=CORELIB018).route_engine == "auto"
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import RoutingError
+        with pytest.raises(RoutingError):
+            GlobalRouter(FLOORPLAN, engine="turbo")
