@@ -7,9 +7,12 @@ Subcommands
 ``map``     — technology mapping (BLIF in, Verilog out),
 ``flow``    — the paper's Figure 3 congestion-aware flow on a benchmark,
 ``ksweep``  — print a Table 2/4-style K sweep (alias: ``sweep``),
+``ksearch`` — find the minimum routable K without the full sweep
+(``--k-search grid|bisect|portfolio``),
 ``sta``     — map, place, route and time a circuit; print the critical path.
 
-``flow`` and ``ksweep`` take the shared observability flags: ``--trace
+``flow``, ``ksweep`` and ``ksearch`` take the shared observability
+flags: ``--trace
 FILE`` writes the run's span tree as JSON lines, ``--profile`` prints a
 per-phase time/counter breakdown after the run, and ``--artifacts DIR``
 dumps one congestion heatmap (CSV + ASCII) per evaluated K point
@@ -29,6 +32,7 @@ from .core import (
     area_congestion,
     congestion_aware_flow,
     evaluate_netlist,
+    k_search,
     k_sweep,
     map_network,
     min_area,
@@ -175,6 +179,39 @@ def _cmd_ksweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ksearch(args: argparse.Namespace) -> int:
+    network = _load_network(args.source)
+    base = decompose(network)
+    config = FlowConfig(library=CORELIB018, workers=args.workers,
+                        route_engine=args.route_engine,
+                        route_reuse=not args.no_route_reuse,
+                        place_engine=args.place_engine)
+    floorplan = Floorplan.from_rows(args.rows) if args.rows else \
+        Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
+    k_values = [float(k) for k in args.k.split(",")] if args.k \
+        else list(PAPER_K_VALUES)
+    tracer = _make_tracer(args, "ksearch")
+    result = k_search(base, floorplan, config, k_values=k_values,
+                      strategy=args.k_search, tolerance=args.tolerance,
+                      progress=lambda msg: print(msg, file=sys.stderr),
+                      tracer=tracer)
+    evaluated = result.table_points()
+    print(k_sweep_table(evaluated,
+                        title=f"{network.name} K search ({result.strategy}, "
+                              f"die {floorplan.area:.0f} um2, "
+                              f"{floorplan.num_rows} rows)"))
+    _emit_observability(args, tracer, evaluated)
+    print(f"evaluations: {result.evaluations}/{len(result.k_grid)} "
+          f"grid points ({result.strategy})", file=sys.stderr)
+    if result.chosen is not None:
+        print(f"minimum routable K={result.chosen_k:g} "
+              f"({result.chosen.violations} violations, "
+              f"tolerance {result.tolerance})")
+        return 0
+    print("no routable K on the grid: relax the floorplan or resynthesize")
+    return 1
+
+
 def _cmd_sta(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
@@ -283,6 +320,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable cross-K route warm-starting")
     _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_ksweep)
+
+    p_search = sub.add_parser("ksearch",
+                              help="adaptive minimum routable K search")
+    p_search.add_argument("source")
+    p_search.add_argument("--k-search", default="bisect",
+                          choices=["grid", "bisect", "portfolio"],
+                          help="search strategy (all find the same K; "
+                               "grid is the exhaustive reference)")
+    p_search.add_argument("--rows", type=int, default=0)
+    p_search.add_argument("--tolerance", type=int, default=0,
+                          help="violations still considered routable")
+    p_search.add_argument("--k", default="",
+                          help="comma-separated K grid (default: paper's)")
+    p_search.add_argument("--workers", type=int, default=1,
+                          help="round width of the portfolio strategy and "
+                               "pool fan-out (the chosen K is identical "
+                               "for any value)")
+    p_search.add_argument("--route-engine", default="auto",
+                          choices=["auto", "vector", "reference"],
+                          help="global-routing engine (auto picks by design "
+                               "size; all engines give identical results)")
+    p_search.add_argument("--place-engine", default="vector",
+                          choices=["vector", "reference"],
+                          help="placement/covering compute engine (reference "
+                               "= scalar oracles; identical results, slower)")
+    p_search.add_argument("--no-route-reuse", action="store_true",
+                          help="disable cross-K route warm-starting")
+    _add_obs_flags(p_search)
+    p_search.set_defaults(func=_cmd_ksearch)
 
     p_sta = sub.add_parser("sta", help="map + place + route + timing report")
     p_sta.add_argument("source")

@@ -36,8 +36,9 @@ An arrival-time estimate rides along for the delay objective.
 
 from __future__ import annotations
 
+import bisect as _bisect
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -114,6 +115,219 @@ class BoundaryInfo:
         once some tree has paid for it, later NEG references are free.
         """
         return vertex in self.complemented
+
+
+def _assignment_fingerprint(cover: TreeCover,
+                            is_shared: Callable[[int], bool]) -> Tuple:
+    """Canonical description of the realized assignment of a cover.
+
+    Serialises the chosen-solution tree reachable from the root's
+    positive phase: match choices (cell name + pin-to-leaf bindings),
+    inverter phase conversions, and shared-leaf references (the
+    terminals).  Everything the netlist builder commits — instances,
+    connectivity, centers of mass, the boundary figures — is a pure
+    function of this fingerprint plus the DP-input signature, so two
+    covers with equal fingerprints under equal signatures realise
+    identically.
+    """
+    memo: Dict[Tuple[int, bool], Tuple] = {}
+
+    def ref_fp(vertex: int, phase: bool) -> Tuple:
+        if is_shared(vertex):
+            return ("s", vertex, phase)
+        got = memo.get((vertex, phase))
+        if got is None:
+            got = sol_fp(cover.solutions[(vertex, phase)])
+            memo[(vertex, phase)] = got
+        return got
+
+    def sol_fp(sol: Solution) -> Tuple:
+        if sol.match is None:
+            if sol.inv_source is None:
+                raise MappingError("conversion solution without a source")
+            return ("i", sol_fp(sol.inv_source))
+        m = sol.match
+        return ("m", m.cell.name, m.phase,
+                tuple((pin, ref_fp(u, ph)) for pin, (u, ph) in m.leaves))
+
+    return ref_fp(cover.tree.root, POS)
+
+
+class CoverMemo:
+    """Cross-K covering-DP reuse (the parametric-optimisation memo).
+
+    For a fixed subject tree and fixed DP inputs other than K — the
+    match lists, the member positions, the boundary figures of every
+    shared leaf any candidate can reference — the total cost of a full
+    cover assignment is *affine in K* (``cost = AREA + K·WIRE``,
+    Eq. 5; in delay mode ``arrival + K·WIRE``, equally affine), so the
+    DP optimum over assignments is the lower envelope of a family of
+    lines: concave, piecewise linear in K.  If the DP returned the
+    *same* assignment at K₁ and at K₂ > K₁, that assignment is optimal
+    throughout [K₁, K₂] and a probe at any interior K can reuse the
+    stored cover without re-running the DP.
+
+    The memo stores, per tree and per DP-input signature, the evaluated
+    ``(K, assignment fingerprint, cover)`` triples in K order.  A
+    lookup hits when its K was evaluated exactly, or when the two
+    bracketing evaluated Ks carry equal fingerprints.  Ascending walks
+    (sweeps, the Figure 3 loop) never have a right bracket, so they
+    never hit; the memo pays off in the bracketing searches of
+    :mod:`repro.core.ksearch`, which probe interior Ks by construction.
+    Exact cost ties between *distinct* assignments are the one case the
+    affine argument does not pin down; the DP's deterministic scan
+    order resolves such ties identically at every K where they hold,
+    and the equivalence tests assert memo-on runs bit-identical to
+    memo-off runs.
+
+    One memo hangs off each :class:`Matcher` (created by the mapper,
+    like the matcher's vertex tables).  The memo itself never queries
+    the matcher — shared-leaf reference sets are *peeked* from the
+    matcher's match memo at store time, right after a DP ran — and the
+    mapper credits each hit with the ``len(tree.members)`` match
+    queries the skipped DP would have issued, which keeps
+    ``map.match_queries`` independent of the execution plan.
+    """
+
+    def __init__(self) -> None:  # noqa: D107
+        #: key -> {signature -> [(k, fingerprint, cover)] sorted by k}.
+        self._entries: Dict[Tuple, Dict[Tuple, List[Tuple]]] = {}
+        #: key -> (sorted members, sorted shared (vertex, phase) refs).
+        self._refs: Dict[Tuple, Tuple[List[int], Tuple]] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.stores = 0
+
+    def probe(self, tree: Tree, materialized: Set[int], matcher: Matcher,
+              objective: CoverObjective,
+              boundary: BoundaryInfo) -> "_MemoProbe":
+        """A lookup/store handle for one ``cover_tree`` call site."""
+        mat = frozenset(v for v in tree.members
+                        if v in materialized and v != tree.root)
+        key = (tree.root, tree.frozen_members(), mat)
+        return _MemoProbe(self, key, matcher, objective, boundary)
+
+
+class _MemoProbe:
+    """Binds a :class:`CoverMemo` to one tree, objective and boundary.
+
+    The probe is built *before* the tree's cover is committed, so its
+    signature captures the DP inputs exactly as the DP (or the reused
+    cover) saw them.
+    """
+
+    __slots__ = ("memo", "key", "matcher", "objective", "boundary", "_sig")
+
+    def __init__(self, memo: CoverMemo, key: Tuple, matcher: Matcher,
+                 objective: CoverObjective,
+                 boundary: BoundaryInfo) -> None:  # noqa: D107
+        self.memo = memo
+        self.key = key
+        self.matcher = matcher
+        self.objective = objective
+        self.boundary = boundary
+        self._sig: Optional[Tuple] = None
+
+    def _is_shared(self, v: int) -> bool:
+        return v not in self.key[1] or v in self.key[2]
+
+    def _signature(self) -> Optional[Tuple]:
+        """Every DP input other than K, as one hashable tuple.
+
+        ``None`` until the shared-reference set of this tree is known
+        (it is derived on the first store; see :meth:`_derive_refs`).
+        """
+        if self._sig is None:
+            cached = self.memo._refs.get(self.key)
+            if cached is None:
+                return None
+            members_sorted, refs = cached
+            boundary = self.boundary
+            positions = boundary.positions
+            obj = self.objective
+            shared_vals = []
+            for u, ph in refs:
+                vals: Tuple[Any, ...] = (
+                    u, ph, boundary.position(u), boundary.wire(u),
+                    boundary.arrival(u))
+                if ph == NEG:
+                    vals += (boundary.has_complement(u),)
+                shared_vals.append(vals)
+            self._sig = (obj.mode, obj.transitive_wire, obj.load_estimate,
+                         positions.metric,
+                         tuple(positions.get(v) for v in members_sorted),
+                         tuple(shared_vals))
+        return self._sig
+
+    def lookup(self) -> Optional[TreeCover]:
+        """The reusable cover for this tree at ``objective.k``, if any."""
+        self.memo.lookups += 1
+        sig = self._signature()
+        if sig is None:
+            return None
+        by_sig = self.memo._entries.get(self.key)
+        entries = by_sig.get(sig) if by_sig else None
+        if not entries:
+            return None
+        k = self.objective.k
+        ks = [entry[0] for entry in entries]
+        i = _bisect.bisect_left(ks, k)
+        if i < len(entries) and entries[i][0] == k:
+            self.memo.hits += 1
+            return entries[i][2]
+        if 0 < i < len(entries) and entries[i - 1][1] == entries[i][1]:
+            # K is bracketed by two evaluated Ks whose optimal
+            # assignments agree — affine costs make that assignment
+            # optimal at every K in between.
+            self.memo.hits += 1
+            return entries[i - 1][2]
+        return None
+
+    def store(self, cover: TreeCover) -> None:
+        """Record a freshly computed cover at ``objective.k``."""
+        memo = self.memo
+        if self.key not in memo._refs:
+            refs = self._derive_refs()
+            if refs is None:  # pragma: no cover - defensive
+                return
+            memo._refs[self.key] = refs
+            self._sig = None
+        sig = self._signature()
+        if sig is None:  # pragma: no cover - defensive
+            return
+        fp = _assignment_fingerprint(cover, self._is_shared)
+        entries = memo._entries.setdefault(self.key, {}).setdefault(sig, [])
+        k = self.objective.k
+        ks = [entry[0] for entry in entries]
+        i = _bisect.bisect_left(ks, k)
+        if i < len(entries) and entries[i][0] == k:
+            return
+        entries.insert(i, (k, fp, cover))
+        memo.stores += 1
+
+    def _derive_refs(self) -> Optional[Tuple[List[int], Tuple]]:
+        """Shared-leaf references of *any* candidate match of the tree.
+
+        Peeked from the matcher's match memo (populated by the DP that
+        just ran) — peeking instead of querying keeps the matcher's
+        hit/miss counters, and with them ``map.match_queries``,
+        untouched.  Losing candidates matter too: a boundary change at
+        a leaf only a losing match references can flip the argmin, so
+        the signature must cover every reference.
+        """
+        frozen = self.key[1]
+        members_sorted = sorted(frozen)
+        shared = set()
+        for v in members_sorted:
+            matches = self.matcher._memo.get((v, frozen))
+            if matches is None:  # pragma: no cover - defensive
+                return None
+            for phase in (POS, NEG):
+                for m in matches[phase]:
+                    for _, (u, ph) in m.leaves:
+                        if self._is_shared(u):
+                            shared.add((u, ph))
+        return (members_sorted, tuple(sorted(shared)))
 
 
 def cover_tree(network: BaseNetwork, tree: Tree, matcher: Matcher,

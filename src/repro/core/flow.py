@@ -67,6 +67,11 @@ class FlowConfig:
     ``place_engine`` selects the placement/covering compute engine
     (``"vector"`` — batched numpy kernels — or ``"reference"``, the
     scalar oracles; bit-identical results either way).
+    ``cover_memo`` enables the per-matcher covering memo: trees whose
+    DP inputs (member positions, boundary values, objective) are
+    unchanged — or bracketed by two K points that picked the same
+    assignment — reuse the previous cover instead of re-running the
+    DP.  Memo hits are pure speedups; the chosen covers are identical.
     """
 
     library: CellLibrary
@@ -81,6 +86,7 @@ class FlowConfig:
     route_engine: str = AUTO
     route_reuse: bool = True
     place_engine: str = VECTOR
+    cover_memo: bool = True
 
 
 @dataclass
@@ -262,7 +268,8 @@ def run_k_point(base: BaseNetwork, positions: PositionMap,
                               partition_style=config.partition_style,
                               positions=positions,
                               partition=partition, matcher=matcher,
-                              engine=config.place_engine)
+                              engine=config.place_engine,
+                              cover_memo=config.cover_memo)
     sp_map.counters.absorb(mapping.stats)
     point = evaluate_netlist(mapping.netlist, floorplan, config,
                              seed_positions=mapping.instance_positions, k=k,
@@ -276,20 +283,70 @@ def run_k_point(base: BaseNetwork, positions: PositionMap,
 
 
 #: Single-slot per-process cache: (payload, Matcher).  Workers receive
-#: the same payload object for every task of one sweep, so the matcher
+#: the same payload object for every task of one round, so the matcher
 #: — and its match memo — is shared across all K points a process runs.
 _sweep_matcher: Optional[Tuple[Any, Matcher]] = None
 
 
 def _k_point_task(payload: Tuple[Any, ...], k: float) -> EvalPoint:
-    """One K point of a sweep (a fan-out task)."""
+    """One K point of a sweep round (a fan-out task).
+
+    The payload's last slot is an optional :class:`RouteCache`
+    snapshot; each task clones it into a private shard, so every K
+    point of a round warm-starts from the same opening snapshot no
+    matter which worker runs it (or whether the round fell back to the
+    serial loop) — the property that keeps sharded rounds bit-identical
+    across execution plans.
+    """
     global _sweep_matcher
-    base, positions, floorplan, config, part = payload
+    base, positions, floorplan, config, part, snapshot = payload
     if _sweep_matcher is None or _sweep_matcher[0] is not payload:
         _sweep_matcher = (payload, Matcher(base, config.library))
     matcher = _sweep_matcher[1]
+    shard = snapshot.clone() if snapshot is not None else None
     return run_k_point(base, positions, floorplan, config, k,
-                       partition=part, matcher=matcher)
+                       partition=part, matcher=matcher, route_cache=shard)
+
+
+def evaluate_k_round(base: BaseNetwork, positions: PositionMap,
+                     floorplan: Floorplan, config: FlowConfig,
+                     ks: Sequence[float], part: Partition,
+                     workers: int = 1,
+                     route_cache: Optional[RouteCache] = None,
+                     stats: Optional[StatsRegistry] = None,
+                     tracer: Optional[Tracer] = None) -> List[EvalPoint]:
+    """Evaluate one *round* of K points over the process pool.
+
+    Every task receives the same opening snapshot of ``route_cache``
+    (or no cache) and clones it into a private shard; the caller merges
+    the round's results back with :func:`merge_round_routes`.  Results
+    come back in ``ks`` order.  This is the parallel-safe unit both
+    :func:`k_sweep` and :func:`repro.core.ksearch.k_search` build on.
+    """
+    snapshot = (route_cache
+                if route_cache is not None and route_cache.routes else None)
+    payload = (base, positions, floorplan, config, part, snapshot)
+    return fan_out(_k_point_task, payload, list(ks), workers=workers,
+                   stats=stats, tracer=tracer)
+
+
+def merge_round_routes(cache: RouteCache, points: Sequence[EvalPoint],
+                       prefer_low_k: bool = False) -> None:
+    """Deterministically merge a round's shards back into the cache.
+
+    Shards only ever *store* the zero-violation routing of their own K
+    point, so merging reduces to picking one clean round member as the
+    next snapshot: the highest-K clean point by default — exactly the
+    state a serial ascending sweep would have left behind — or the
+    lowest-K one (``prefer_low_k``), which is what a minimum-K search
+    wants its next, smaller probes to warm-start from.  The pick
+    depends only on the round's results, never on worker scheduling.
+    """
+    clean = [p for p in points
+             if p.routing is not None and p.routing.violations == 0]
+    if clean:
+        pick = (min if prefer_low_k else max)(clean, key=lambda p: p.k)
+        cache.store(pick.routing)
 
 
 def _progress_line(point: EvalPoint) -> str:
@@ -317,13 +374,20 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
     out over a process pool; the returned points are bit-identical to
     the serial path's (same ``EvalPoint.row()`` tuples, same order).
 
-    The serial path additionally threads a :class:`RouteCache` through
-    the K points when ``config.route_reuse`` is on: nets whose pin
-    GCell signature is unchanged between adjacent K netlists warm-start
-    from the previous K's final route, so the sweep stops paying full
-    routing cost at every K.  Parallel sweeps skip the cache (K points
-    route independently there), which keeps them bit-identical to
-    serial sweeps in the reported rows.
+    With ``config.route_reuse`` on, both paths thread a
+    :class:`RouteCache` through the K points: nets whose pin GCell
+    signature is unchanged between K netlists warm-start from a
+    previous K's final route, so the sweep stops paying full routing
+    cost at every K.  The serial path carries the cache point to
+    point; the parallel path runs the sweep in rounds of ``workers``
+    K points, where every task of a round clones the last
+    zero-violation snapshot into a private shard and the round's clean
+    results are merged back deterministically
+    (:func:`merge_round_routes`).  Warm starts are pure speedups —
+    a warm-started point reports the same row as a cold one — so the
+    sharded rounds stay bit-identical to the serial warm sweep.  With
+    ``route_reuse`` off, the parallel path keeps the single fan-out
+    (one pool, contiguous chunks).
 
     ``tracer``, when given, receives one ``sweep`` span whose children
     are the K points' subtrees, adopted in K order on both execution
@@ -334,21 +398,33 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
                                        engine=config.place_engine)
     nworkers = max(1, config.workers if workers is None else workers)
     part = make_partition(base, config.partition_style, positions=positions)
-    payload = (base, positions, floorplan, config, part)
     k_list = list(k_values)
     span_cm = (tracer.span("sweep", points=len(k_list))
                if tracer is not None else contextlib.nullcontext())
     with span_cm as sweep_span:
         if nworkers > 1 and len(k_list) > 1:
+            route_cache = RouteCache() if config.route_reuse else None
+            groups = ([k_list] if route_cache is None else
+                      [k_list[i:i + nworkers]
+                       for i in range(0, len(k_list), nworkers)])
             exec_stats = StatsRegistry()
-            points = fan_out(_k_point_task, payload, k_list,
-                             workers=nworkers, stats=exec_stats)
-            for point in points:
-                point.stats.merge(exec_stats)
-                if tracer is not None:
-                    tracer.adopt(point.trace)
-                if progress is not None:
-                    progress(_progress_line(point))
+            points: List[EvalPoint] = []
+            for group in groups:
+                round_stats = StatsRegistry()
+                round_points = evaluate_k_round(
+                    base, positions, floorplan, config, group, part,
+                    workers=nworkers, route_cache=route_cache,
+                    stats=round_stats, tracer=tracer)
+                if route_cache is not None:
+                    merge_round_routes(route_cache, round_points)
+                exec_stats.merge(round_stats)
+                for point in round_points:
+                    point.stats.merge(round_stats)
+                    if tracer is not None:
+                        tracer.adopt(point.trace)
+                    if progress is not None:
+                        progress(_progress_line(point))
+                points.extend(round_points)
             if sweep_span is not None:
                 sweep_span.counters.merge(exec_stats)
             return points
@@ -367,6 +443,12 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
         return points
 
 
+#: :attr:`FlowResult.verdict` values — why the Figure 3 loop ended.
+FLOW_CONVERGED = "converged"
+FLOW_EARLY_STOP = "early_stop"
+FLOW_SCHEDULE_EXHAUSTED = "schedule_exhausted"
+
+
 @dataclass
 class FlowResult:
     """Outcome of the Figure 3 methodology loop."""
@@ -374,6 +456,12 @@ class FlowResult:
     chosen: Optional[EvalPoint]
     history: List[EvalPoint]
     converged: bool
+    #: Why the loop ended: :data:`FLOW_CONVERGED` (an acceptable map
+    #: was found), :data:`FLOW_EARLY_STOP` (the three-strictly-rising
+    #: violations heuristic fired) or :data:`FLOW_SCHEDULE_EXHAUSTED`
+    #: (the K schedule ran out) — so benches can tell a heuristic stop
+    #: from a genuinely exhausted schedule.
+    verdict: str = ""
 
     @property
     def chosen_k(self) -> Optional[float]:
@@ -411,8 +499,10 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
     route_cache = RouteCache() if config.route_reuse else None
     span_cm = (tracer.span("flow", tolerance=tolerance)
                if tracer is not None else contextlib.nullcontext())
-    with span_cm:
+    with span_cm as flow_span:
         history: List[EvalPoint] = []
+        chosen: Optional[EvalPoint] = None
+        verdict = FLOW_SCHEDULE_EXHAUSTED
         for k in k_schedule:
             point = run_k_point(base, positions, floorplan, config, k,
                                 partition=part, matcher=matcher,
@@ -421,8 +511,9 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
             if tracer is not None:
                 tracer.adopt(point.trace)
             if point.violations <= tolerance:
-                return FlowResult(chosen=point, history=history,
-                                  converged=True)
+                chosen = point
+                verdict = FLOW_CONVERGED
+                break
             # The paper's stopping heuristic: once congestion worsens
             # while the area penalty keeps growing, more K will not
             # help.
@@ -430,8 +521,15 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
                 recent = history[-3:]
                 if (recent[2].violations > recent[1].violations
                         > recent[0].violations):
+                    verdict = FLOW_EARLY_STOP
                     break
-        return FlowResult(chosen=None, history=history, converged=False)
+        if flow_span is not None:
+            flow_span.attrs["verdict"] = verdict
+            flow_span.counters.gauge(
+                "flow.early_stop", 1.0 if verdict == FLOW_EARLY_STOP else 0.0)
+        return FlowResult(chosen=chosen, history=history,
+                          converged=verdict == FLOW_CONVERGED,
+                          verdict=verdict)
 
 
 def find_routable_die(netlist: MappedNetlist, start_rows: int,

@@ -25,7 +25,7 @@ from ..library.cell import CellLibrary
 from ..obs import StatsRegistry
 from ..network.dag import BaseNetwork
 from ..network.netlist import MappedNetlist
-from .covering import BoundaryInfo, TreeCover, cover_tree
+from .covering import BoundaryInfo, CoverMemo, TreeCover, cover_tree
 from .covering import VECTOR as VECTOR_COVER
 from .matching import Matcher, POS
 from .objectives import CoverObjective, min_area
@@ -81,6 +81,14 @@ class TechnologyMapper:
         A shared :class:`Matcher` over ``network``/``library``.  Its
         per-``(vertex, tree)`` memo makes repeated runs (one per K)
         enumerate each tree's matches once.
+    cover_memo:
+        Enable the cross-K covering-DP memo
+        (:class:`repro.core.covering.CoverMemo`, stored on the shared
+        matcher): a tree whose DP inputs are unchanged and whose
+        optimal assignment agrees at two evaluated Ks bracketing this
+        run's K skips the DP entirely.  Exact — reused covers commit
+        bit-identical netlists — and on by default; disable to A/B the
+        memo itself.
     """
 
     def __init__(self, network: BaseNetwork, library: CellLibrary,
@@ -90,7 +98,8 @@ class TechnologyMapper:
                  max_tree_size: Optional[int] = None,
                  partition: Optional[Partition] = None,
                  matcher: Optional[Matcher] = None,
-                 engine: str = VECTOR_COVER):  # noqa: D107
+                 engine: str = VECTOR_COVER,
+                 cover_memo: bool = True):  # noqa: D107
         self.network = network
         self.library = library
         self.objective = objective or min_area()
@@ -108,6 +117,7 @@ class TechnologyMapper:
         self.partition = partition
         self.matcher = matcher if matcher is not None \
             else Matcher(network, library)
+        self.cover_memo = cover_memo
 
     def run(self) -> MappingResult:
         """Execute the full mapping flow and return the result."""
@@ -127,25 +137,51 @@ class TechnologyMapper:
         t_partition = time.perf_counter() - t0
         builder = _NetlistBuilder(network, self.library, part,
                                   self.positions, self.objective)
+        memo: Optional[CoverMemo] = None
+        if self.cover_memo:
+            memo = getattr(matcher, "_cover_memo", None)
+            if memo is None:
+                memo = CoverMemo()
+                matcher._cover_memo = memo
+        memo_hits = 0
+        memo_credit = 0
         t0 = time.perf_counter()
         t_dp = 0.0
         for root in part.roots:
+            tree = part.trees[root]
             t1 = time.perf_counter()
-            cover = cover_tree(network, part.trees[root], matcher,
-                               self.library, self.objective,
-                               builder.boundary, part.materialized,
-                               engine=self.engine)
+            probe = (memo.probe(tree, part.materialized, matcher,
+                                self.objective, builder.boundary)
+                     if memo is not None else None)
+            cover = probe.lookup() if probe is not None else None
+            if cover is None:
+                cover = cover_tree(network, tree, matcher,
+                                   self.library, self.objective,
+                                   builder.boundary, part.materialized,
+                                   engine=self.engine)
+                if probe is not None:
+                    probe.store(cover)
+            else:
+                memo_hits += 1
+                memo_credit += len(tree.members)
             t_dp += time.perf_counter() - t1
             builder.commit_tree(cover)
         t_cover = time.perf_counter() - t0
         t0 = time.perf_counter()
         result = builder.finish()
-        hits = matcher.stats["match_cache_hits"] - hits0
+        # A memo hit skips the DP and with it the one match query per
+        # tree member the covering would have issued; crediting those
+        # queries to the hit column keeps ``map.match_queries`` — a
+        # deterministic count asserted identical across execution
+        # plans — equal to one query per member of every covered tree,
+        # memo or no memo.
+        hits = matcher.stats["match_cache_hits"] - hits0 + memo_credit
         misses = matcher.stats["match_cache_misses"] - misses0
         result.stats.time("map.t_partition", t_partition)
         result.stats.time("map.t_cover", t_cover)
         result.stats.time("cover.t_dp", t_dp)
         result.stats.count("cover.trees", len(part.roots))
+        result.stats.work("cover.memo_hits", memo_hits)
         result.stats.time("map.t_build", time.perf_counter() - t0)
         # Hits/misses depend on how warm the shared memo is (which K
         # points a process ran before); their sum — the number of match
@@ -339,12 +375,13 @@ def map_network(network: BaseNetwork, library: CellLibrary,
                 max_tree_size: Optional[int] = None,
                 partition: Optional[Partition] = None,
                 matcher: Optional[Matcher] = None,
-                engine: str = VECTOR_COVER) -> MappingResult:
+                engine: str = VECTOR_COVER,
+                cover_memo: bool = True) -> MappingResult:
     """One-call convenience wrapper around :class:`TechnologyMapper`."""
     mapper = TechnologyMapper(network, library, objective=objective,
                               partition_style=partition_style,
                               positions=positions,
                               max_tree_size=max_tree_size,
                               partition=partition, matcher=matcher,
-                              engine=engine)
+                              engine=engine, cover_memo=cover_memo)
     return mapper.run()

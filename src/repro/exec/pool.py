@@ -13,8 +13,12 @@ changing their results:
   does not depend on which worker ran it.
 * **Graceful fallback** — ``workers <= 1``, a single task, or *any*
   failure to stand the pool up (missing ``multiprocessing`` support,
-  unpicklable payloads, sandboxed environments) silently degrades to
-  the serial loop.  Parallelism only ever changes wall time.
+  unpicklable payloads, sandboxed environments) degrades to the serial
+  loop.  Parallelism only ever changes wall time.  The degradation is
+  *observable*: a failed pool records ``exec.fallback`` in the caller's
+  stats registry and emits an ``exec_fallback`` tracer event carrying
+  the exception class, so a "parallel" run that actually ran serial is
+  diagnosable instead of silent.
 
 Workers receive one constant ``payload`` through the pool initializer
 (sent once per worker, not once per task) and then stream tasks.  Task
@@ -87,7 +91,8 @@ def _pool_call(task: Any) -> Any:
 
 def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
             workers: int = 1,
-            stats: Optional[StatsRegistry] = None) -> List[Any]:
+            stats: Optional[StatsRegistry] = None,
+            tracer: Optional[Any] = None) -> List[Any]:
     """Apply ``fn(payload, task)`` to every task; results in task order.
 
     ``workers <= 1`` (or a single task) runs the plain serial loop.
@@ -99,7 +104,11 @@ def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
 
     ``stats``, when given, is a :class:`StatsRegistry` receiving the
     environment facts ``exec.workers`` (processes actually used; 1 for
-    serial) and ``exec.parallel`` (0/1).
+    serial) and ``exec.parallel`` (0/1).  A pool/pickling failure
+    additionally records ``exec.fallback = 1`` there; the registry
+    holds numbers only, so the exception *class* goes to ``tracer``
+    (an :class:`repro.obs.Tracer`, optional) as an ``exec_fallback``
+    event span with ``error``/``detail`` attributes.
     """
     tasks = list(tasks)
     workers = max(1, int(workers))
@@ -111,8 +120,17 @@ def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
                 stats.env("exec.workers", nproc)
                 stats.env("exec.parallel", 1)
             return results
-        except Exception:
-            pass  # pool or pickling failure: fall through to serial
+        except Exception as exc:
+            # Pool or pickling failure: fall through to serial, but
+            # leave a trail — a run asked to be parallel that was not
+            # should never look identical to one that was.
+            if stats is not None:
+                stats.env("exec.fallback", 1)
+            if tracer is not None:
+                with tracer.span("exec_fallback",
+                                 error=type(exc).__name__,
+                                 detail=str(exc)[:200]):
+                    pass
     if stats is not None:
         stats.env("exec.workers", 1)
         stats.env("exec.parallel", 0)

@@ -118,7 +118,10 @@ class RoutingResult:
     #: (times), ``route.nets_rerouted`` / ``route.segments_rerouted`` /
     #: ``route.routes_reused`` / ``route.iterations`` (work),
     #: ``route.violations`` / ``route.overflowed_nets`` (counts) and
-    #: ``route.wirelength`` (metric).
+    #: ``route.wirelength`` (metric).  ``route.reuse_skipped`` (work) is
+    #: 1 when a non-empty warm cache was presented but matched nothing
+    #: because the routing grid changed shape (recorded by
+    #: :meth:`GlobalRouter.route` on both engines).
     stats: StatsRegistry = field(default_factory=StatsRegistry)
 
     @property
@@ -150,6 +153,21 @@ class RouteCache:
     @staticmethod
     def _key(grid: RoutingGrid) -> Tuple[int, int, int, int]:
         return (grid.nx, grid.ny, grid.hcap, grid.vcap)
+
+    def clone(self) -> "RouteCache":
+        """An independent cache holding the same snapshot.
+
+        The per-segment edge-id arrays are shared (routers never mutate
+        them in place — rerouting rebinds a fresh array), but the
+        containers are copied, so a clone can be stored into without
+        affecting its source.  This is what gives every task of a
+        parallel sweep round its own warm-start shard seeded from the
+        round's opening snapshot.
+        """
+        out = RouteCache()
+        out.grid_key = self.grid_key
+        out.routes = {sig: list(arrs) for sig, arrs in self.routes.items()}
+        return out
 
     def warm_routes(self, grid: RoutingGrid) -> Dict[Signature,
                                                      List[np.ndarray]]:
@@ -225,18 +243,27 @@ class GlobalRouter:
         """Route all nets; returns the result with violation counts.
 
         ``cache`` (read-only here) warm-starts nets whose pin GCell
-        signature matches a cached route on a compatible grid.
+        signature matches a cached route on a compatible grid.  A
+        non-empty cache that matches nothing because the grid changed
+        shape is counted as ``route.reuse_skipped`` in the result's
+        stats — the one residual way a requested warm start can be
+        silently dropped.
         """
         grid = RoutingGrid(self.floorplan, self.resources, self.gcell_rows)
         warm = cache.warm_routes(grid) if cache is not None else {}
+        reuse_skipped = int(cache is not None and bool(cache.routes)
+                            and not warm)
         engine = self.engine
         if engine == AUTO:
             engine = (REFERENCE if len(net_points) < AUTO_NET_THRESHOLD
                       else VECTOR)
         if engine == REFERENCE:
             from .reference import route_reference
-            return route_reference(self, grid, net_points, warm)
-        return self._route_vector(grid, net_points, warm)
+            result = route_reference(self, grid, net_points, warm)
+        else:
+            result = self._route_vector(grid, net_points, warm)
+        result.stats.work("route.reuse_skipped", reuse_skipped)
+        return result
 
     # -- vectorized engine ----------------------------------------------
 

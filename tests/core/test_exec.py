@@ -7,7 +7,7 @@ from repro.core import FlowConfig, k_sweep
 from repro.exec import default_workers, derive_seed, fan_out, pool_available
 from repro.library import CORELIB018
 from repro.network import decompose
-from repro.obs import StatsRegistry
+from repro.obs import StatsRegistry, Tracer
 from repro.place import Floorplan, place_base_network
 
 
@@ -60,6 +60,46 @@ class TestFanOut:
         assert pool_available() in (True, False)
 
 
+class TestFallbackObservability:
+    """A pool failure must degrade to serial *and* leave a trail —
+    never a silent `except: pass` (the ISSUE 7 satellite bugfix)."""
+
+    def test_pool_failure_records_stats_and_event(self, monkeypatch):
+        import repro.exec.pool as pool_mod
+
+        if not pool_available():
+            pytest.skip("no process pool on this platform")
+
+        def induced_failure(fn, payload, tasks, nproc):
+            raise RuntimeError("induced pool failure")
+
+        monkeypatch.setattr(pool_mod, "_fan_out_pool", induced_failure)
+        stats = StatsRegistry()
+        tracer = Tracer("run", command="test")
+        out = fan_out(_square, 2, [0, 1, 2], workers=4, stats=stats,
+                      tracer=tracer)
+        # The serial fallback still produces the right answers...
+        assert out == [0, 2, 8]
+        # ...but the degradation is visible in the environment facts...
+        assert stats["exec.fallback"] == 1
+        assert stats["exec.workers"] == 1
+        assert stats["exec.parallel"] == 0
+        # ...and the exception class lands in the trace.
+        root = tracer.close()
+        events = [c for c in root.children if c.name == "exec_fallback"]
+        assert len(events) == 1
+        assert events[0].attrs["error"] == "RuntimeError"
+        assert "induced pool failure" in events[0].attrs["detail"]
+
+    def test_healthy_pool_records_no_fallback(self):
+        if not pool_available():
+            pytest.skip("no process pool on this platform")
+        stats = StatsRegistry()
+        out = fan_out(_square, 2, list(range(8)), workers=2, stats=stats)
+        assert out == [2 * t * t for t in range(8)]
+        assert "exec.fallback" not in stats
+
+
 @pytest.fixture(scope="module")
 def sweep_setup():
     pla = random_pla("par", num_inputs=9, num_outputs=5, num_products=24,
@@ -101,6 +141,28 @@ class TestParallelKSweepDeterminism:
         viaconfig = k_sweep(base, floorplan, cfg, k_values=[0.0, 0.01],
                             positions=positions)
         assert [p.row() for p in serial] == [p.row() for p in viaconfig]
+
+    def test_parallel_rounds_reuse_routes(self, sweep_setup):
+        """ISSUE 7 satellite: workers>1 + route_reuse must actually
+        warm-start (the pre-fix parallel path silently dropped the
+        cache).  With 2 workers the sweep runs rounds [K0, K1], [K2];
+        the second round warm-starts from the first's clean pick."""
+        base, config, floorplan, positions = sweep_setup
+        points = k_sweep(base, floorplan, config,
+                         k_values=[0.0, 0.001, 0.01],
+                         positions=positions, workers=2)
+        assert points[0].stats["routes_reused"] == 0
+        assert points[1].stats["routes_reused"] == 0
+        if not any(p.violations == 0 for p in points[:2]):
+            pytest.skip("no clean first-round point to seed the cache")
+        assert points[2].stats["routes_reused"] > 0
+        # And the warm rows still match a cold parallel sweep's.
+        from dataclasses import replace
+        cold = k_sweep(base, floorplan,
+                       replace(config, route_reuse=False),
+                       k_values=[0.0, 0.001, 0.01],
+                       positions=positions, workers=2)
+        assert [p.row() for p in points] == [p.row() for p in cold]
 
     def test_instrumentation_present(self, sweep_setup):
         base, config, floorplan, positions = sweep_setup

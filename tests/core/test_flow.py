@@ -4,6 +4,9 @@ import pytest
 
 from repro.circuits import random_pla
 from repro.core import (
+    FLOW_CONVERGED,
+    FLOW_EARLY_STOP,
+    FLOW_SCHEDULE_EXHAUSTED,
     FlowConfig,
     congestion_aware_flow,
     dagon_flow,
@@ -99,6 +102,133 @@ class TestCongestionAwareFlow:
             return  # placement infeasible also counts as non-convergence
         assert not result.converged
         assert result.chosen is None
+
+
+def _script_violations(monkeypatch, sequence):
+    """Make every routing report the next scripted violation count.
+
+    The real router still runs (so all other figures stay genuine);
+    only the verdict is forced, which lets the tests drive the flow
+    heuristics through exact violation profiles.
+    """
+    import repro.core.flow as flow_mod
+
+    # Re-scripting within one test must wrap the pristine router, not
+    # stack a second script on top of an exhausted one.
+    real_router = getattr(flow_mod.GlobalRouter, "_script_real",
+                          flow_mod.GlobalRouter)
+    remaining = iter(sequence)
+
+    class ScriptedRouter(real_router):
+        _script_real = real_router
+
+        def route(self, points, cache=None):
+            routing = super().route(points, cache=cache)
+            routing.violations = next(remaining)
+            return routing
+
+    monkeypatch.setattr(flow_mod, "GlobalRouter", ScriptedRouter)
+
+
+class TestFlowVerdicts:
+    """The Figure 3 loop records *why* it stopped, not just whether."""
+
+    SCHEDULE = [0.0, 0.001, 0.002, 0.005]
+
+    def test_strictly_rising_violations_early_stop(self, flow_setup,
+                                                   monkeypatch):
+        base, config, floorplan, positions = flow_setup
+        _script_violations(monkeypatch, [5, 6, 7])
+        tracer = Tracer("run", command="flow")
+        result = congestion_aware_flow(base, floorplan, config,
+                                       k_schedule=self.SCHEDULE,
+                                       positions=positions, tracer=tracer)
+        assert result.verdict == FLOW_EARLY_STOP
+        assert not result.converged
+        assert result.chosen is None
+        # The heuristic fires at the third point, not after the fourth.
+        assert len(result.history) == 3
+        flow_span = tracer.close().children[0]
+        assert flow_span.attrs["verdict"] == FLOW_EARLY_STOP
+        assert flow_span.counters["flow.early_stop"] == 1.0
+
+    def test_plateau_does_not_trigger_heuristic(self, flow_setup,
+                                                monkeypatch):
+        base, config, floorplan, positions = flow_setup
+        _script_violations(monkeypatch, [5, 5, 5, 5])
+        tracer = Tracer("run", command="flow")
+        result = congestion_aware_flow(base, floorplan, config,
+                                       k_schedule=self.SCHEDULE,
+                                       positions=positions, tracer=tracer)
+        assert result.verdict == FLOW_SCHEDULE_EXHAUSTED
+        assert not result.converged
+        assert len(result.history) == len(self.SCHEDULE)
+        flow_span = tracer.close().children[0]
+        assert flow_span.counters["flow.early_stop"] == 0.0
+
+    def test_tolerance_preempts_early_stop(self, flow_setup, monkeypatch):
+        """One violation profile, two verdicts: [8, 6, 7, 8] early-stops
+        at tolerance 0 (6 < 7 < 8), but at tolerance 6 the second point
+        already converges — acceptance is checked before the heuristic
+        ever sees a rising tail."""
+        base, config, floorplan, positions = flow_setup
+        profile = [8, 6, 7, 8]
+        _script_violations(monkeypatch, profile)
+        strict = congestion_aware_flow(base, floorplan, config,
+                                       k_schedule=self.SCHEDULE,
+                                       positions=positions)
+        assert strict.verdict == FLOW_EARLY_STOP
+        assert len(strict.history) == len(profile)
+        _script_violations(monkeypatch, profile)
+        tolerant = congestion_aware_flow(base, floorplan, config,
+                                         k_schedule=self.SCHEDULE,
+                                         positions=positions, tolerance=6)
+        assert tolerant.verdict == FLOW_CONVERGED
+        assert tolerant.converged
+        assert tolerant.chosen_k == self.SCHEDULE[1]
+        assert tolerant.chosen.violations == 6
+
+    def test_converged_verdict_on_clean_map(self, flow_setup):
+        base, config, _, _ = flow_setup
+        generous = Floorplan.from_rows(24, aspect=1.0)
+        result = congestion_aware_flow(base, generous, config,
+                                       k_schedule=[0.0, 0.005], tolerance=5)
+        assert result.converged
+        assert result.verdict == FLOW_CONVERGED
+
+
+class TestDieEscalationEdges:
+    """find_routable_die's escalation under exact violation profiles."""
+
+    def test_escalates_until_clean(self, flow_setup, monkeypatch):
+        base, config, floorplan, positions = flow_setup
+        point = run_k_point(base, positions, floorplan, config, 0.0)
+        _script_violations(monkeypatch, [9, 3, 0])
+        fp, result = find_routable_die(point.mapping.netlist,
+                                       floorplan.num_rows, config,
+                                       max_extra_rows=5)
+        assert fp.num_rows == floorplan.num_rows + 2
+        assert result.violations == 0
+
+    def test_tolerance_accepts_earlier_die(self, flow_setup, monkeypatch):
+        base, config, floorplan, positions = flow_setup
+        point = run_k_point(base, positions, floorplan, config, 0.0)
+        _script_violations(monkeypatch, [9, 3, 0])
+        fp, result = find_routable_die(point.mapping.netlist,
+                                       floorplan.num_rows, config,
+                                       max_extra_rows=5, tolerance=3)
+        assert fp.num_rows == floorplan.num_rows + 1
+        assert result.violations == 3
+
+    def test_near_miss_at_last_row_raises(self, flow_setup, monkeypatch):
+        base, config, floorplan, positions = flow_setup
+        point = run_k_point(base, positions, floorplan, config, 0.0)
+        # One above tolerance at every attempted die: must raise, never
+        # round a near miss down to success.
+        _script_violations(monkeypatch, [3, 2, 1])
+        with pytest.raises(ReproError):
+            find_routable_die(point.mapping.netlist, floorplan.num_rows,
+                              config, max_extra_rows=2)
 
 
 class TestFindRoutableDie:

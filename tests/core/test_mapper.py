@@ -166,3 +166,60 @@ class TestPlaVariety:
                              partition_style="placement",
                              positions=positions)
         check_base_vs_mapped(base, result.netlist, CORELIB018)
+
+
+class TestCoverMemo:
+    """Cross-K covering reuse: bracketed probes skip the DP without
+    changing any result (the ISSUE 7 parametric memo)."""
+
+    def _map_at(self, base, positions, k, matcher=None, cover_memo=True):
+        return map_network(base, CORELIB018, area_congestion(k),
+                           partition_style="placement", positions=positions,
+                           matcher=matcher, cover_memo=cover_memo)
+
+    def test_bracketed_probe_hits_and_matches(self, small_base):
+        from repro.core import Matcher
+
+        positions = random_positions(small_base)
+        matcher = Matcher(small_base, CORELIB018)
+        lo, hi, mid = 0.0, 0.0002, 0.0001
+        for k in (lo, hi):
+            bracket = self._map_at(small_base, positions, k, matcher=matcher)
+            assert bracket.stats["cover.memo_hits"] == 0
+        probe = self._map_at(small_base, positions, mid, matcher=matcher)
+        assert probe.stats["cover.memo_hits"] > 0
+        # A memo hit must be invisible in the result: identical netlist
+        # to a cold mapping at the same K.
+        cold = self._map_at(small_base, positions, mid, cover_memo=False)
+        assert probe.netlist.cell_histogram() == \
+            cold.netlist.cell_histogram()
+        assert probe.stats["cell_area"] == cold.stats["cell_area"]
+        assert cold.stats["cover.memo_hits"] == 0
+        # The deterministic match-query count is execution-plan
+        # independent: hits are credited for the queries a skipped DP
+        # would have issued.
+        assert probe.stats["map.match_queries"] == \
+            cold.stats["map.match_queries"]
+
+    def test_exact_k_repeat_hits(self, small_base):
+        from repro.core import Matcher
+
+        positions = random_positions(small_base)
+        matcher = Matcher(small_base, CORELIB018)
+        first = self._map_at(small_base, positions, 0.001, matcher=matcher)
+        again = self._map_at(small_base, positions, 0.001, matcher=matcher)
+        assert first.stats["cover.memo_hits"] == 0
+        assert again.stats["cover.memo_hits"] > 0
+        assert again.netlist.cell_histogram() == \
+            first.netlist.cell_histogram()
+
+    def test_ascending_walk_never_hits(self, small_base):
+        """Sweeps walk K upward, so probes never have a right bracket —
+        the memo must stay silent (and the sweep rows untouched)."""
+        from repro.core import Matcher
+
+        positions = random_positions(small_base)
+        matcher = Matcher(small_base, CORELIB018)
+        for k in (0.0, 0.001, 0.01, 0.1):
+            result = self._map_at(small_base, positions, k, matcher=matcher)
+            assert result.stats["cover.memo_hits"] == 0

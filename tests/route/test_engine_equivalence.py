@@ -240,6 +240,46 @@ class TestRouteCache:
         result = router.route(moved, cache=cache)
         assert result.stats["routes_reused"] == len(moved)
 
+    def test_reuse_skipped_counter(self):
+        """A warm cache that contributes nothing is observable: the
+        grid-mismatch drop records ``route.reuse_skipped`` instead of
+        silently routing cold (the ISSUE 7 satellite bugfix)."""
+        nets = random_nets(13, count=30)
+        cache = RouteCache()
+        router = GlobalRouter(FLOORPLAN, max_iterations=4)
+        first = router.route(nets, cache=cache)
+        assert first.stats["route.reuse_skipped"] == 0  # cache was empty
+        cache.store(first)
+        other_fp = Floorplan(width=78.0, row_height=5.2, num_rows=15)
+        other = GlobalRouter(other_fp, max_iterations=4)
+        mismatched = other.route(nets, cache=cache)
+        assert mismatched.stats["route.reuse_skipped"] == 1
+        assert mismatched.stats["routes_reused"] == 0
+        warm = router.route(nets, cache=cache)
+        assert warm.stats["route.reuse_skipped"] == 0
+        assert warm.stats["routes_reused"] > 0
+
+    def test_clone_is_an_independent_shard(self):
+        """clone() decouples the signature table: storing into a shard
+        never mutates the parent snapshot (the property the parallel
+        sweep rounds rely on)."""
+        nets = random_nets(14, count=25)
+        cache = RouteCache()
+        router = GlobalRouter(FLOORPLAN, max_iterations=6)
+        cache.store(router.route(nets, cache=cache))
+        before = {sig: list(arrs) for sig, arrs in cache.routes.items()}
+
+        shard = cache.clone()
+        assert shard.grid_key == cache.grid_key
+        assert set(shard.routes) == set(cache.routes)
+        kept = {k: v for k, v in nets.items() if k != "n0"}
+        shard.store(router.route(kept, cache=shard))
+        # The parent snapshot is untouched, signature for signature.
+        assert set(cache.routes) == set(before)
+        for sig, arrs in cache.routes.items():
+            assert all(a is b for a, b in zip(arrs, before[sig]))
+        assert len(shard.routes) == len(kept)
+
     def test_store_replaces_stale_routes(self):
         """store() snapshots exactly the latest result: old signatures
         vanish, so a deleted net cannot resurrect a stale route."""
