@@ -1,0 +1,82 @@
+"""Shared schema for the ``BENCH_*.json`` result files.
+
+Every bench that emits a machine-readable payload routes it through
+:func:`write_bench_json`, which wraps the bench-specific body in one
+common envelope::
+
+    {
+      "schema_version": 1,
+      "bench": "<name>",              # BENCH_<name>.json
+      "generated_unix": 1754650000.0, # time.time() at write
+      "generated_at": "2026-08-08T12:00:00Z",
+      "host": {"python": "3.11.9", "platform": "Linux-...", "cpus": 1},
+      ...bench-specific payload keys...
+    }
+
+Downstream consumers (CI artifact diffing, EXPERIMENTS.md tooling) can
+then key on ``schema_version``/``bench`` instead of guessing each
+file's shape, and all timestamp/host fields share one spelling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict
+
+from conftest import RESULTS_DIR
+
+__all__ = ["SCHEMA_VERSION", "bench_envelope", "write_bench_json"]
+
+#: Bump when an envelope field is renamed or removed (additions are free).
+SCHEMA_VERSION = 1
+
+
+def _host_info() -> Dict[str, Any]:
+    """The machine fingerprint stamped into every payload."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def bench_envelope(name: str) -> Dict[str, Any]:
+    """The common envelope fields for bench ``name``."""
+    now = time.time()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": name,
+        "generated_unix": now,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      time.gmtime(now)),
+        "host": _host_info(),
+    }
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Write ``BENCH_<name>.json`` (envelope + payload); returns the path.
+
+    Payload keys win over envelope keys only if they don't collide with
+    the reserved envelope fields — a bench overwriting ``bench`` or
+    ``schema_version`` is a bug, so collisions raise.
+    """
+    envelope = bench_envelope(name)
+    collisions = set(payload) & set(envelope)
+    if collisions:
+        raise ValueError(f"payload overrides envelope fields: "
+                         f"{sorted(collisions)}")
+    envelope.update(payload)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(envelope, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+if __name__ == "__main__":  # pragma: no cover
+    json.dump(bench_envelope("demo"), sys.stdout, indent=2)

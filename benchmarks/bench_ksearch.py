@@ -20,12 +20,11 @@ evaluation-budget floor; full mode runs the Table 2 SPLA and Table 4
 PDC dies.  Results go to ``BENCH_ksearch.json``.
 """
 
-import json
 import os
 
+from bench_common import write_bench_json
 from conftest import (
     PDC_ROWS,
-    RESULTS_DIR,
     ROUTABLE_TOLERANCE,
     SCALE,
     SPLA_ROWS,
@@ -148,10 +147,7 @@ def test_ksearch_strategies(benchmark):
         "rows": rows,
         "identity": identity,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_ksearch.json"), "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("ksearch", payload)
 
     for r in rows:
         if r["strategy"] == GRID:

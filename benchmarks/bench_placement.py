@@ -14,13 +14,13 @@ pays once per K point.  The matcher is pre-warmed before timing, the
 way a K sweep sees it (every K after the first hits the match memo).
 """
 
-import json
 import os
 import time
 
 import pytest
 
-from conftest import RESULTS_DIR, publish
+from bench_common import write_bench_json
+from conftest import publish
 from repro.circuits import spla_like
 from repro.core import Matcher, area_congestion, map_network
 from repro.io import format_table
@@ -155,10 +155,7 @@ def test_placement_engines(benchmark):
         "anneal_moves": ANNEAL_MOVES,
         "rows": rows,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_placement.json"), "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("placement", payload)
 
     assert all(r["t_vector"] > 0 and r["t_reference"] > 0 for r in rows)
     if not SMOKE:

@@ -14,13 +14,13 @@ is deliberately light, so the bench asserts only the linearity and that
 output size tracks input size.
 """
 
-import json
 import os
 import time
 
 import pytest
 
-from conftest import RESULTS_DIR, publish
+from bench_common import write_bench_json
+from conftest import publish
 from repro.circuits import spla_like
 from repro.core import (
     area_congestion,
@@ -286,10 +286,7 @@ def test_routing_engines(benchmark, config):
         "speedup_floor": None if SMOKE else ROUTING_SPEEDUP_FLOOR,
         "rows": rows,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_routing.json"), "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("routing", payload)
 
     assert all(r["t_vector"] > 0 and r["t_reference"] > 0 for r in rows)
     if not SMOKE:

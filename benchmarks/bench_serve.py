@@ -1,0 +1,189 @@
+"""Batch-engine throughput — ``repro serve`` vs one-shot CLI runs.
+
+The ISSUE 8 acceptance: on a mixed job stream (ksweep / flow / ksearch
+requests drawn from the calibrated small dies), one long-lived
+``repro serve`` process must deliver at least the speedup floor over
+the same jobs issued as independent one-shot CLI invocations — each of
+which pays the interpreter start, library build, netlist parse,
+placement and cold routing from scratch — while emitting result lines
+**byte-identical** to the one-shot runs.
+
+Both sides run the same binary surface: the one-shot leg launches one
+``repro serve`` subprocess *per job* (cold process, cold caches — the
+``repro flow``/``ksweep``/``ksearch`` cost structure with a uniform
+output format), the serve leg launches one subprocess for the whole
+stream.  The serve leg runs twice, at ``--workers 1`` and
+``--workers N``, and the two output files must be byte-identical —
+the determinism half of the acceptance.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``): 12 jobs, 1.5x floor (CI
+containers time poorly); full mode: 100 jobs, 3x floor.  Results go to
+``BENCH_serve.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from bench_common import write_bench_json
+from conftest import publish
+from repro.io import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Acceptance floor for t_oneshot / t_serve on the mixed stream.
+SPEEDUP_FLOOR = 1.5 if SMOKE else 3.0
+
+N_JOBS = 12 if SMOKE else 100
+
+#: The mixed stream cycles these calibrated requests (all converge /
+#: route within tolerance on their dies; ksearch lands on K=0.5, the
+#: CI regression value).
+TEMPLATES = [
+    {"cmd": "ksweep", "source": "spla@0.01", "rows": 12,
+     "k": [0.0, 0.005]},
+    {"cmd": "flow", "source": "spla@0.02", "rows": 18, "tolerance": 6},
+    {"cmd": "ksweep", "source": "spla@0.02", "rows": 16,
+     "k": [0.0, 0.001, 0.01]},
+    {"cmd": "ksearch", "source": "spla@0.06", "rows": 20, "tolerance": 6},
+]
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_cache = {}
+
+
+def _make_jobs(n):
+    return [dict(TEMPLATES[i % len(TEMPLATES)], id=f"j{i:03d}")
+            for i in range(n)]
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run_serve(jobs_path, out_path, workers, summary_path=""):
+    """One ``repro serve`` subprocess over a job file; returns wall (s)."""
+    argv = [sys.executable, "-m", "repro.cli", "serve", jobs_path,
+            "-o", out_path, "--workers", str(workers)]
+    if summary_path:
+        argv += ["--summary", summary_path]
+    t0 = time.perf_counter()
+    proc = subprocess.run(argv, env=_cli_env(), capture_output=True,
+                          text=True)
+    wall = time.perf_counter() - t0
+    assert proc.returncode == 0, \
+        f"serve failed ({proc.returncode}):\n{proc.stderr}"
+    return wall
+
+
+def run_serve_bench(tmpdir):
+    if "result" in _cache:
+        return _cache["result"]
+    jobs = _make_jobs(N_JOBS)
+    stream_path = os.path.join(tmpdir, "jobs.jsonl")
+    with open(stream_path, "w") as fh:
+        for job in jobs:
+            fh.write(json.dumps(job) + "\n")
+
+    # One-shot leg: a cold process (and cold caches) per job.
+    oneshot_lines = []
+    t0 = time.perf_counter()
+    for i, job in enumerate(jobs):
+        jpath = os.path.join(tmpdir, f"one_{i}.jsonl")
+        opath = os.path.join(tmpdir, f"one_{i}.out")
+        with open(jpath, "w") as fh:
+            fh.write(json.dumps(job) + "\n")
+        _run_serve(jpath, opath, workers=1)
+        with open(opath) as fh:
+            oneshot_lines.extend(fh.read().splitlines())
+    t_oneshot = time.perf_counter() - t0
+
+    # Serve leg: one process for the whole stream, both worker counts.
+    out1 = os.path.join(tmpdir, "serve_w1.out")
+    outn = os.path.join(tmpdir, "serve_wN.out")
+    summary_path = os.path.join(tmpdir, "serve_summary.json")
+    workers_n = max(2, os.cpu_count() or 1)
+    t_serve_1 = _run_serve(stream_path, out1, workers=1,
+                           summary_path=summary_path)
+    with open(summary_path) as fh:
+        summary_1 = json.load(fh)
+    t_serve_n = _run_serve(stream_path, outn, workers=workers_n)
+
+    with open(out1) as fh:
+        serve_lines_1 = fh.read().splitlines()
+    with open(outn) as fh:
+        serve_lines_n = fh.read().splitlines()
+
+    # Determinism acceptance: byte-identical result lines, job for job,
+    # serve vs one-shot and workers=1 vs workers=N.
+    assert len(serve_lines_1) == len(oneshot_lines) == N_JOBS
+    mismatched = [i for i, (a, b) in
+                  enumerate(zip(serve_lines_1, oneshot_lines)) if a != b]
+    assert not mismatched, \
+        f"serve rows differ from one-shot rows for jobs {mismatched[:5]}"
+    assert serve_lines_n == serve_lines_1, \
+        "serve output differs between --workers 1 and --workers N"
+    assert all(json.loads(line)["ok"] for line in serve_lines_1), \
+        "a calibrated job failed to converge"
+
+    t_serve = min(t_serve_1, t_serve_n)
+    result = {
+        "jobs": N_JOBS,
+        "workers_n": workers_n,
+        "t_oneshot_s": t_oneshot,
+        "t_serve_w1_s": t_serve_1,
+        "t_serve_wN_s": t_serve_n,
+        "oneshot_jobs_per_sec": N_JOBS / max(t_oneshot, 1e-9),
+        "serve_jobs_per_sec": N_JOBS / max(t_serve, 1e-9),
+        "speedup": t_oneshot / max(t_serve, 1e-9),
+        "identical_rows": True,
+        "cache": summary_1["cache"],
+        "cache_hit_rates": summary_1["cache_hit_rates"],
+        "engine_jobs_per_sec": summary_1["jobs_per_sec"],
+    }
+    _cache["result"] = result
+    return result
+
+
+def test_serve_throughput(benchmark, tmp_path):
+    """Serve vs one-shot throughput on a mixed job stream."""
+    r = benchmark.pedantic(run_serve_bench, args=(str(tmp_path),),
+                           rounds=1, iterations=1)
+    rates = r["cache_hit_rates"]
+    table = format_table(
+        ["mode", "jobs", "wall (s)", "jobs/s", "vs one-shot"],
+        [("one-shot CLI (cold per job)", r["jobs"],
+          f"{r['t_oneshot_s']:.1f}",
+          f"{r['oneshot_jobs_per_sec']:.2f}", "1.00x"),
+         ("serve --workers 1", r["jobs"], f"{r['t_serve_w1_s']:.1f}",
+          f"{r['jobs'] / max(r['t_serve_w1_s'], 1e-9):.2f}",
+          f"{r['t_oneshot_s'] / max(r['t_serve_w1_s'], 1e-9):.2f}x"),
+         (f"serve --workers {r['workers_n']}", r["jobs"],
+          f"{r['t_serve_wN_s']:.1f}",
+          f"{r['jobs'] / max(r['t_serve_wN_s'], 1e-9):.2f}",
+          f"{r['t_oneshot_s'] / max(r['t_serve_wN_s'], 1e-9):.2f}x")],
+        title=("Batch engine - repro serve vs one-shot CLI "
+               f"({'smoke' if SMOKE else 'full'} mode, "
+               f"{len(TEMPLATES)} job templates, rows byte-identical; "
+               f"cache hits: netlist {rates['netlist']:.0%}, layout "
+               f"{rates['layout']:.0%}, route pool "
+               f"{rates['route_pool']:.0%})"))
+    publish("serve_throughput", table)
+
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "speedup_floor": SPEEDUP_FLOOR,
+        "templates": TEMPLATES,
+        **r,
+    }
+    write_bench_json("serve", payload)
+
+    assert r["speedup"] >= SPEEDUP_FLOOR, \
+        (f"serve only {r['speedup']:.2f}x over one-shot "
+         f"({r['jobs']} jobs, floor {SPEEDUP_FLOOR:.1f}x)")

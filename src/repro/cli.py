@@ -9,9 +9,14 @@ Subcommands
 ``ksweep``  — print a Table 2/4-style K sweep (alias: ``sweep``),
 ``ksearch`` — find the minimum routable K without the full sweep
 (``--k-search grid|bisect|portfolio``),
+``serve``   — long-lived batch engine: a JSONL job stream (flow/ksweep/
+ksearch requests) executed against session-scoped caches, results
+streamed back as JSONL,
 ``sta``     — map, place, route and time a circuit; print the critical path.
 
-``flow``, ``ksweep`` and ``ksearch`` take the shared observability
+``flow``, ``ksweep``, ``ksearch`` and ``serve`` share one execution-flag
+block (``--rows/--workers/--route-engine/--place-engine/
+--no-route-reuse``) and the observability
 flags: ``--trace
 FILE`` writes the run's span tree as JSON lines, ``--profile`` prints a
 per-phase time/counter breakdown after the run, and ``--artifacts DIR``
@@ -22,6 +27,7 @@ dumps one congestion heatmap (CSV + ASCII) per evaluated K point
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -43,6 +49,7 @@ from .library import CORELIB018
 from .network import decompose
 from .obs import Tracer, profile_report, write_congestion_artifacts
 from .place import Floorplan, place_base_network
+from .serve import JobError, ServeEngine, parse_jobs
 from .synth import optimize
 
 
@@ -131,10 +138,7 @@ def _emit_observability(args: argparse.Namespace, tracer: Optional[Tracer],
 def _cmd_flow(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018, workers=args.workers,
-                        route_engine=args.route_engine,
-                        route_reuse=not args.no_route_reuse,
-                        place_engine=args.place_engine)
+    config = _flow_config(args)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     tracer = _make_tracer(args, "flow")
@@ -154,10 +158,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 def _cmd_ksweep(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018, workers=args.workers,
-                        route_engine=args.route_engine,
-                        route_reuse=not args.no_route_reuse,
-                        place_engine=args.place_engine)
+    config = _flow_config(args)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     k_values = [float(k) for k in args.k.split(",")] if args.k \
@@ -182,10 +183,7 @@ def _cmd_ksweep(args: argparse.Namespace) -> int:
 def _cmd_ksearch(args: argparse.Namespace) -> int:
     network = _load_network(args.source)
     base = decompose(network)
-    config = FlowConfig(library=CORELIB018, workers=args.workers,
-                        route_engine=args.route_engine,
-                        route_reuse=not args.no_route_reuse,
-                        place_engine=args.place_engine)
+    config = _flow_config(args)
     floorplan = Floorplan.from_rows(args.rows) if args.rows else \
         Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
     k_values = [float(k) for k in args.k.split(",")] if args.k \
@@ -210,6 +208,51 @@ def _cmd_ksearch(args: argparse.Namespace) -> int:
         return 0
     print("no routable K on the grid: relax the floorplan or resynthesize")
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.jobs == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.jobs) as handle:
+            lines = handle.read().splitlines()
+    try:
+        jobs = parse_jobs(lines)
+    except JobError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    tracer = Tracer("run", command="serve", source=args.jobs) \
+        if (args.trace or args.profile) else None
+    artifacts_dir = args.artifacts or \
+        (args.trace + ".artifacts" if args.trace else "")
+    engine = ServeEngine(_flow_config(args), workers=args.workers,
+                         tracer=tracer, artifacts_dir=artifacts_dir)
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        engine.run(jobs, on_result=lambda result: (
+            out.write(result.to_json() + "\n"), out.flush()))
+    finally:
+        if args.output:
+            out.close()
+    summary = engine.summary()
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if tracer is not None:
+        root = tracer.close()
+        if args.trace:
+            n_lines = tracer.write_jsonl(args.trace)
+            print(f"trace: {n_lines} events -> {args.trace}", file=sys.stderr)
+        if args.profile:
+            print(profile_report(root))
+    rates = summary["cache_hit_rates"]
+    print(f"serve: {summary['ok']}/{summary['jobs']} jobs ok, "
+          f"{summary['jobs_per_sec']:.2f} jobs/s "
+          f"(cache hits: netlist {rates['netlist']:.0%}, "
+          f"layout {rates['layout']:.0%}, "
+          f"route pool {rates['route_pool']:.0%})", file=sys.stderr)
+    return 0 if summary["ok"] == summary["jobs"] else 1
 
 
 def _cmd_sta(args: argparse.Namespace) -> int:
@@ -251,6 +294,42 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                              "--trace is given")
 
 
+def _flow_parent() -> argparse.ArgumentParser:
+    """The execution flags every flow-running subcommand shares.
+
+    One parent parser instead of a per-subcommand copy: ``flow``,
+    ``ksweep``, ``ksearch`` and ``serve`` all inherit
+    ``--rows/--workers/--route-engine/--place-engine/--no-route-reuse``
+    from here, so a new flag (or help-text fix) lands everywhere at
+    once.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--rows", type=int, default=0,
+                        help="die rows (0 = utilization-derived die)")
+    parent.add_argument("--workers", type=int, default=1,
+                        help="process fan-out for parallel stages "
+                             "(results are identical to --workers 1)")
+    parent.add_argument("--route-engine", default="auto",
+                        choices=["auto", "vector", "reference"],
+                        help="global-routing engine (auto picks by design "
+                             "size; all engines give identical results)")
+    parent.add_argument("--place-engine", default="vector",
+                        choices=["vector", "reference"],
+                        help="placement/covering compute engine (reference "
+                             "= scalar oracles; identical results, slower)")
+    parent.add_argument("--no-route-reuse", action="store_true",
+                        help="disable cross-K route warm-starting")
+    return parent
+
+
+def _flow_config(args: argparse.Namespace) -> FlowConfig:
+    """The :class:`FlowConfig` the shared execution flags describe."""
+    return FlowConfig(library=CORELIB018, workers=args.workers,
+                      route_engine=args.route_engine,
+                      route_reuse=not args.no_route_reuse,
+                      place_engine=args.place_engine)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -279,76 +358,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--utilization", type=float, default=35.0)
     p_map.set_defaults(func=_cmd_map)
 
-    p_flow = sub.add_parser("flow", help="Figure 3 congestion-aware flow")
+    flow_parent = _flow_parent()
+
+    p_flow = sub.add_parser("flow", parents=[flow_parent],
+                            help="Figure 3 congestion-aware flow")
     p_flow.add_argument("source")
-    p_flow.add_argument("--rows", type=int, default=0)
     p_flow.add_argument("--tolerance", type=int, default=0)
-    p_flow.add_argument("--workers", type=int, default=1,
-                        help="process fan-out for parallel stages "
-                             "(results are identical to --workers 1)")
-    p_flow.add_argument("--route-engine", default="auto",
-                        choices=["auto", "vector", "reference"],
-                        help="global-routing engine (auto picks by design "
-                             "size; all engines give identical results)")
-    p_flow.add_argument("--place-engine", default="vector",
-                        choices=["vector", "reference"],
-                        help="placement/covering compute engine (reference "
-                             "= scalar oracles; identical results, slower)")
-    p_flow.add_argument("--no-route-reuse", action="store_true",
-                        help="disable cross-K route warm-starting")
     _add_obs_flags(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
     p_sweep = sub.add_parser("ksweep", aliases=["sweep"],
+                             parents=[flow_parent],
                              help="Table 2/4-style K sweep")
     p_sweep.add_argument("source")
-    p_sweep.add_argument("--rows", type=int, default=0)
     p_sweep.add_argument("--k", default="",
                          help="comma-separated K list (default: paper's)")
-    p_sweep.add_argument("--workers", type=int, default=1,
-                         help="map K points over N processes "
-                              "(results are identical to --workers 1)")
-    p_sweep.add_argument("--route-engine", default="auto",
-                         choices=["auto", "vector", "reference"],
-                         help="global-routing engine (auto picks by design "
-                              "size; all engines give identical results)")
-    p_sweep.add_argument("--place-engine", default="vector",
-                         choices=["vector", "reference"],
-                         help="placement/covering compute engine (reference "
-                              "= scalar oracles; identical results, slower)")
-    p_sweep.add_argument("--no-route-reuse", action="store_true",
-                         help="disable cross-K route warm-starting")
     _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_ksweep)
 
-    p_search = sub.add_parser("ksearch",
+    p_search = sub.add_parser("ksearch", parents=[flow_parent],
                               help="adaptive minimum routable K search")
     p_search.add_argument("source")
     p_search.add_argument("--k-search", default="bisect",
                           choices=["grid", "bisect", "portfolio"],
                           help="search strategy (all find the same K; "
                                "grid is the exhaustive reference)")
-    p_search.add_argument("--rows", type=int, default=0)
     p_search.add_argument("--tolerance", type=int, default=0,
                           help="violations still considered routable")
     p_search.add_argument("--k", default="",
                           help="comma-separated K grid (default: paper's)")
-    p_search.add_argument("--workers", type=int, default=1,
-                          help="round width of the portfolio strategy and "
-                               "pool fan-out (the chosen K is identical "
-                               "for any value)")
-    p_search.add_argument("--route-engine", default="auto",
-                          choices=["auto", "vector", "reference"],
-                          help="global-routing engine (auto picks by design "
-                               "size; all engines give identical results)")
-    p_search.add_argument("--place-engine", default="vector",
-                          choices=["vector", "reference"],
-                          help="placement/covering compute engine (reference "
-                               "= scalar oracles; identical results, slower)")
-    p_search.add_argument("--no-route-reuse", action="store_true",
-                          help="disable cross-K route warm-starting")
     _add_obs_flags(p_search)
     p_search.set_defaults(func=_cmd_ksearch)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[flow_parent],
+        help="long-lived batch engine: JSONL jobs in, JSONL results out")
+    p_serve.add_argument("jobs", nargs="?", default="-",
+                         help="JSONL job stream file ('-' = stdin); one "
+                              "{id, cmd, source, ...} object per line")
+    p_serve.add_argument("-o", "--output", default="",
+                         help="write result JSONL here (default: stdout)")
+    p_serve.add_argument("--summary", metavar="FILE", default="",
+                         help="write the engine summary (jobs/sec, cache "
+                              "hit rates) as JSON")
+    _add_obs_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_sta = sub.add_parser("sta", help="map + place + route + timing report")
     p_sta.add_argument("source")

@@ -355,12 +355,30 @@ def _progress_line(point: EvalPoint) -> str:
             f"violations={point.violations}")
 
 
+def _resolve_caches(config: FlowConfig, route_cache: Optional[RouteCache]
+                    ) -> Optional[RouteCache]:
+    """The warm-start cache a sweep loop should thread through its
+    K points: the injected one (a session-scoped pool entry from e.g.
+    ``repro serve``), a fresh one, or ``None`` with reuse disabled.
+
+    Warm starts are pure speedups — a warm-started point reports the
+    same row as a cold one — so injecting a pre-warmed cache never
+    changes results, only wall time.
+    """
+    if not config.route_reuse:
+        return None
+    return route_cache if route_cache is not None else RouteCache()
+
+
 def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
             k_values: Sequence[float] = PAPER_K_VALUES,
             positions: Optional[PositionMap] = None,
             progress: Optional[Callable[[str], None]] = None,
             workers: Optional[int] = None,
-            tracer: Optional[Tracer] = None) -> List[EvalPoint]:
+            tracer: Optional[Tracer] = None,
+            partition: Optional[Partition] = None,
+            matcher: Optional[Matcher] = None,
+            route_cache: Optional[RouteCache] = None) -> List[EvalPoint]:
     """The Table 2/4 experiment: one mapping + evaluation per K.
 
     The technology-independent placement is computed once and re-used
@@ -392,18 +410,26 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
     ``tracer``, when given, receives one ``sweep`` span whose children
     are the K points' subtrees, adopted in K order on both execution
     paths.
+
+    ``partition`` / ``matcher`` / ``route_cache`` inject session-scoped
+    caches (see :mod:`repro.serve`): the K-independent partition, a
+    shared matcher (match memo + cover memo; serial path only — pool
+    workers build their own) and a warm-start route cache carried
+    across calls.  All three are pure speedups; the returned rows are
+    identical to an uninjected sweep's.
     """
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed,
                                        engine=config.place_engine)
     nworkers = max(1, config.workers if workers is None else workers)
-    part = make_partition(base, config.partition_style, positions=positions)
+    part = partition if partition is not None else \
+        make_partition(base, config.partition_style, positions=positions)
     k_list = list(k_values)
     span_cm = (tracer.span("sweep", points=len(k_list))
                if tracer is not None else contextlib.nullcontext())
     with span_cm as sweep_span:
         if nworkers > 1 and len(k_list) > 1:
-            route_cache = RouteCache() if config.route_reuse else None
+            route_cache = _resolve_caches(config, route_cache)
             groups = ([k_list] if route_cache is None else
                       [k_list[i:i + nworkers]
                        for i in range(0, len(k_list), nworkers)])
@@ -428,8 +454,9 @@ def k_sweep(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
             if sweep_span is not None:
                 sweep_span.counters.merge(exec_stats)
             return points
-        matcher = Matcher(base, config.library)
-        route_cache = RouteCache() if config.route_reuse else None
+        if matcher is None:
+            matcher = Matcher(base, config.library)
+        route_cache = _resolve_caches(config, route_cache)
         points: List[EvalPoint] = []
         for k in k_list:
             point = run_k_point(base, positions, floorplan, config, k,
@@ -474,7 +501,11 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
                           k_schedule: Sequence[float] = PAPER_K_VALUES,
                           positions: Optional[PositionMap] = None,
                           tolerance: int = 0,
-                          tracer: Optional[Tracer] = None) -> FlowResult:
+                          tracer: Optional[Tracer] = None,
+                          partition: Optional[Partition] = None,
+                          matcher: Optional[Matcher] = None,
+                          route_cache: Optional[RouteCache] = None
+                          ) -> FlowResult:
     """The modified ASIC design flow of Figure 3.
 
     Place the technology-independent netlist once; map with K = 0;
@@ -486,6 +517,10 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
 
     ``tracer``, when given, receives one ``flow`` span whose children
     are the evaluated K points' subtrees in schedule order.
+
+    ``partition`` / ``matcher`` / ``route_cache``, when given, inject
+    session-scoped caches the same way :func:`k_sweep` accepts them —
+    pure speedups, identical results.
     """
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed,
@@ -494,9 +529,12 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
     # next), but the K-independent work — partition and match
     # enumeration — is still hoisted out of it, and routes of unchanged
     # nets are carried between K points via the route cache.
-    part = make_partition(base, config.partition_style, positions=positions)
-    matcher = Matcher(base, config.library)
-    route_cache = RouteCache() if config.route_reuse else None
+    if partition is None:
+        partition = make_partition(base, config.partition_style,
+                                   positions=positions)
+    if matcher is None:
+        matcher = Matcher(base, config.library)
+    route_cache = _resolve_caches(config, route_cache)
     span_cm = (tracer.span("flow", tolerance=tolerance)
                if tracer is not None else contextlib.nullcontext())
     with span_cm as flow_span:
@@ -505,7 +543,7 @@ def congestion_aware_flow(base: BaseNetwork, floorplan: Floorplan,
         verdict = FLOW_SCHEDULE_EXHAUSTED
         for k in k_schedule:
             point = run_k_point(base, positions, floorplan, config, k,
-                                partition=part, matcher=matcher,
+                                partition=partition, matcher=matcher,
                                 route_cache=route_cache)
             history.append(point)
             if tracer is not None:

@@ -60,6 +60,7 @@ from .flow import (
     FlowConfig,
     PAPER_K_VALUES,
     _progress_line,
+    _resolve_caches,
     evaluate_k_round,
     merge_round_routes,
     run_k_point,
@@ -136,7 +137,9 @@ class _Evaluator:
                  grid: Tuple[float, ...], part: Partition,
                  tolerance: int, workers: int,
                  tracer: Optional[Tracer],
-                 progress: Optional[Callable[[str], None]]):
+                 progress: Optional[Callable[[str], None]],
+                 matcher: Optional[Matcher] = None,
+                 route_cache: Optional[RouteCache] = None):
         self.base = base
         self.positions = positions
         self.floorplan = floorplan
@@ -151,8 +154,9 @@ class _Evaluator:
         self.order: List[int] = []
         self.rounds = 0
         self.exec_stats = StatsRegistry()
-        self.cache = RouteCache() if config.route_reuse else None
-        self._matcher = Matcher(base, config.library)
+        self.cache = _resolve_caches(config, route_cache)
+        self._matcher = matcher if matcher is not None \
+            else Matcher(base, config.library)
 
     @property
     def evals(self) -> int:
@@ -337,7 +341,10 @@ def k_search(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
              strategy: str = BISECT, tolerance: int = 0,
              workers: Optional[int] = None,
              progress: Optional[Callable[[str], None]] = None,
-             tracer: Optional[Tracer] = None) -> KSearchResult:
+             tracer: Optional[Tracer] = None,
+             partition: Optional[Partition] = None,
+             matcher: Optional[Matcher] = None,
+             route_cache: Optional[RouteCache] = None) -> KSearchResult:
     """Find the minimum routable K of the grid without sweeping it all.
 
     ``base`` is placed once (unless ``positions`` is given) and
@@ -352,6 +359,10 @@ def k_search(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
 
     ``tracer``, when given, receives one ``ksearch`` span whose
     children are the evaluated points' subtrees in evaluation order.
+
+    ``partition`` / ``matcher`` / ``route_cache`` inject session-scoped
+    caches exactly like :func:`~repro.core.flow.k_sweep` — pure
+    speedups, same chosen K and identical evaluated rows.
     """
     grid = tuple(sorted({float(k) for k in k_values}))
     if not grid:
@@ -363,12 +374,14 @@ def k_search(base: BaseNetwork, floorplan: Floorplan, config: FlowConfig,
     if positions is None:
         positions = place_base_network(base, floorplan, seed=config.seed,
                                        engine=config.place_engine)
-    part = make_partition(base, config.partition_style, positions=positions)
+    part = partition if partition is not None else \
+        make_partition(base, config.partition_style, positions=positions)
     span_cm = (tracer.span("ksearch", strategy=strategy, points=len(grid))
                if tracer is not None else contextlib.nullcontext())
     with span_cm as span:
         ev = _Evaluator(base, positions, floorplan, config, grid, part,
-                        tolerance, nworkers, tracer, progress)
+                        tolerance, nworkers, tracer, progress,
+                        matcher=matcher, route_cache=route_cache)
         chosen_i = _STRATEGY_FNS[strategy](ev)
         stats = StatsRegistry()
         stats.count("ksearch.grid_points", len(grid))

@@ -1,5 +1,11 @@
 """Standard-cell library substrate: cells, pattern trees, corelib018."""
 
+from .cache import (
+    cached_library,
+    clear_library_cache,
+    content_key,
+    library_build_stats,
+)
 from .cell import CellLibrary, LibCell
 from .corelib import CORELIB018, ROW_HEIGHT_UM, build_corelib018
 from .liberty import dump_library, load_library, parse_pattern
@@ -12,7 +18,11 @@ __all__ = [
     "PatternNode",
     "ROW_HEIGHT_UM",
     "build_corelib018",
+    "cached_library",
+    "clear_library_cache",
+    "content_key",
     "dump_library",
+    "library_build_stats",
     "leaf",
     "load_library",
     "parse_pattern",

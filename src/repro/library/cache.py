@@ -1,0 +1,97 @@
+"""Content-keyed, module-level memo for library construction.
+
+Building a :class:`~repro.library.cell.CellLibrary` is not free: every
+cell's patterns are checked, SOPs are derived and cross-validated, and
+the inverter/base-NAND lookups are resolved.  One-shot CLI runs paid
+that once per process and moved on; a long-lived engine (``repro
+serve``), the benches and the test suite all rebuild the *same*
+library many times in one process.  This memo makes any repeated
+in-process build a dictionary hit.
+
+The memo is keyed by a **content key** — a string that fully determines
+the built library:
+
+* :func:`repro.library.liberty.load_library` keys on the SHA-256 of the
+  liberty text (two paths with identical content share one build);
+* :func:`repro.library.corelib.build_corelib018` keys on its builder
+  name plus a format version (the definitions are code, which cannot
+  change within one process).
+
+Libraries are immutable (frozen cells, read-only lookups), so handing
+every caller the same instance is safe — and is exactly what lets the
+matcher/cover memos keyed on library identity compose across callers.
+
+``library.build_hits`` / ``library.build_misses`` are surfaced as a
+:class:`~repro.obs.registry.StatsRegistry` snapshot via
+:func:`library_build_stats` (kind ``work``: warm processes legitimately
+differ from cold ones).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Callable, Dict
+
+from ..obs import StatsRegistry
+from .cell import CellLibrary
+
+__all__ = ["cached_library", "clear_library_cache", "content_key",
+           "library_build_stats"]
+
+_memo: Dict[str, CellLibrary] = {}
+_hits = 0
+_misses = 0
+_lock = threading.Lock()
+
+
+def content_key(text: str) -> str:
+    """SHA-256 content key for text-defined libraries (liberty source)."""
+    return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def cached_library(key: str, builder: Callable[[], CellLibrary]
+                   ) -> CellLibrary:
+    """The library for ``key``, building it with ``builder`` on a miss.
+
+    ``key`` must fully determine the built library's content (see the
+    module docstring); a failed build stores nothing, so transient
+    errors never poison the memo.
+    """
+    global _hits, _misses
+    with _lock:
+        hit = _memo.get(key)
+        if hit is not None:
+            _hits += 1
+            return hit
+    built = builder()
+    with _lock:
+        # A racing builder may have landed first; keep the incumbent so
+        # every caller shares one instance.
+        incumbent = _memo.setdefault(key, built)
+        _misses += 1
+    return incumbent
+
+
+def library_build_stats() -> StatsRegistry:
+    """Snapshot of the process-wide build memo counters.
+
+    ``library.build_hits`` / ``library.build_misses`` (kind ``work``)
+    plus ``library.cached`` (kind ``env``, the number of distinct
+    libraries held).
+    """
+    stats = StatsRegistry()
+    with _lock:
+        stats.work("library.build_hits", _hits)
+        stats.work("library.build_misses", _misses)
+        stats.env("library.cached", len(_memo))
+    return stats
+
+
+def clear_library_cache() -> None:
+    """Drop the memo and zero the counters (test isolation)."""
+    global _hits, _misses
+    with _lock:
+        _memo.clear()
+        _hits = 0
+        _misses = 0

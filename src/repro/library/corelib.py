@@ -15,10 +15,16 @@ from __future__ import annotations
 
 from typing import List
 
+from .cache import cached_library
 from .cell import CellLibrary, LibCell
 from .patterns import PatternNode, leaf, pinv, pnand
 
 ROW_HEIGHT_UM = 5.2
+
+#: Build-memo content key: the cell definitions live in this module's
+#: code, which cannot change within one process, so the builder name
+#: plus a format version fully determines the built library.
+_BUILD_KEY = "builtin:corelib018/v1"
 
 
 def _cell(name: str, patterns: List[PatternNode], area: float,
@@ -51,7 +57,17 @@ def _and2(a: str, b: str) -> PatternNode:
 
 
 def build_corelib018() -> CellLibrary:
-    """Construct the full synthetic library."""
+    """The full synthetic library (memoized; see :mod:`.cache`).
+
+    The library is immutable, so every in-process caller shares one
+    instance — repeated builds (serve jobs, benches, tests) are
+    dictionary hits counted in ``library.build_hits``.
+    """
+    return cached_library(_BUILD_KEY, _build_corelib018)
+
+
+def _build_corelib018() -> CellLibrary:
+    """Construct the library from scratch (the memoized builder)."""
     cells: List[LibCell] = []
 
     # Inverters and buffers at several drive strengths.

@@ -13,6 +13,7 @@ import re
 from typing import Dict, List, Tuple
 
 from ..errors import ParseError
+from .cache import cached_library, content_key
 from .cell import CellLibrary, LibCell
 from .patterns import PatternNode, leaf, pinv, pnand
 
@@ -69,7 +70,17 @@ def _parse_pattern(text: str) -> Tuple[PatternNode, str]:
 
 
 def load_library(text: str) -> CellLibrary:
-    """Parse the mini-liberty text form back into a :class:`CellLibrary`."""
+    """Parse the mini-liberty text form back into a :class:`CellLibrary`.
+
+    Content-keyed memo: loading the same text twice in one process
+    (any path, any caller) returns the same immutable library instance
+    (see :mod:`repro.library.cache`).  Parse errors are raised fresh
+    each time and never cached.
+    """
+    return cached_library(content_key(text), lambda: _load_library(text))
+
+
+def _load_library(text: str) -> CellLibrary:
     lib_match = re.search(r'library\s*\(\s*"([^"]+)"\s*\)', text)
     if not lib_match:
         raise ParseError("missing library header")

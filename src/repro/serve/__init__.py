@@ -1,0 +1,29 @@
+"""Long-lived batch engine: ``repro serve`` — JSONL jobs in, JSONL out.
+
+The CLI's one-shot commands pay the full cold-start tax per run; this
+package turns the same flow entry points into a cache-warm service:
+
+* :class:`Job` / :class:`JobResult` — the JSONL request/response model
+  (deterministic result lines, byte-identical at any worker count);
+* :class:`SessionCaches` — content-keyed netlist, layout, matcher and
+  per-(die, netlist) route-cache pools shared across jobs;
+* :class:`ServeEngine` — the deterministic sequential job queue whose
+  per-job stages fan out over the :mod:`repro.exec` pool.
+"""
+
+from .caches import SessionCaches, die_key, source_key
+from .engine import ServeEngine
+from .jobs import JOB_COMMANDS, Job, JobError, JobResult, parse_job, parse_jobs
+
+__all__ = [
+    "JOB_COMMANDS",
+    "Job",
+    "JobError",
+    "JobResult",
+    "ServeEngine",
+    "SessionCaches",
+    "die_key",
+    "parse_job",
+    "parse_jobs",
+    "source_key",
+]

@@ -1,0 +1,196 @@
+"""Session-scoped caches shared across the jobs of one engine.
+
+One-shot CLI invocations pay the full cold-start tax on every run:
+re-import, library pattern rebuild, netlist parse + decomposition,
+technology-independent placement, match enumeration, cold route
+negotiation.  A :class:`SessionCaches` instance owns everything of that
+which is reusable *across* jobs, keyed so that reuse is always sound:
+
+* **Parsed netlists** — content-keyed: a BLIF file keys on the SHA-256
+  of its text (two paths with the same content share one parse; an
+  edited file re-parses), a generated benchmark on its normalized
+  ``name@scale`` spec.  The cached object is the *decomposed*
+  :class:`~repro.network.dag.BaseNetwork` plus its source network;
+  flow jobs never mutate either.
+* **Layouts** — the technology-independent placement and the
+  K-independent partition, keyed by (netlist, die, seed, engines,
+  partition style): exactly the products :func:`~repro.core.flow.k_sweep`
+  hoists out of its per-K loop, hoisted one level further — out of the
+  per-job loop.
+* **Matchers** — one :class:`~repro.core.matching.Matcher` per
+  (netlist, library): its per-(vertex, tree) match memo and the
+  :class:`~repro.core.covering.CoverMemo` the mapper hangs off it
+  compose across jobs exactly as they do across the K points of one
+  sweep.
+* **Route pools** — one :class:`~repro.route.router.RouteCache` per
+  (netlist, die): jobs warm-start from the last clean snapshot a
+  previous job on the *same* die/netlist stored, through the same
+  clean-snapshot sharding that keeps parallel sweep rounds
+  bit-identical.  A job on a different die or netlist gets its own
+  pool entry, so it can never adopt a foreign shard (the grid key
+  inside :class:`RouteCache` backstops even hand-constructed misuse).
+
+Every cache is a pure speedup: mapping, placement and match results are
+deterministic functions of their keys, and route warm starts never
+change reported rows — so a warm engine emits byte-identical result
+lines to a cold one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from ..circuits import benchmark
+from ..core import FlowConfig, Matcher, Partition, PositionMap
+from ..core.partition import partition as make_partition
+from ..io import parse_blif
+from ..library.cell import CellLibrary
+from ..network.dag import BaseNetwork
+from ..network.decompose import decompose
+from ..obs import StatsRegistry
+from ..place import Floorplan, place_base_network
+from ..route.router import RouteCache
+
+__all__ = ["SessionCaches", "die_key", "source_key"]
+
+#: (width, row height, rows) — everything that distinguishes one die.
+DieKey = Tuple[float, float, int]
+
+
+def source_key(source: str) -> str:
+    """Content key of a job source (BLIF path or ``name@scale``)."""
+    if source.endswith(".blif"):
+        with open(source, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        return f"blif:sha256:{digest}"
+    name, _, scale = source.partition("@")
+    return f"bench:{name.lower()}@{float(scale) if scale else 0.125:g}"
+
+
+def die_key(floorplan: Floorplan) -> DieKey:
+    """The cache key of a die (grid geometry is derived from these)."""
+    return (floorplan.width, floorplan.row_height, floorplan.num_rows)
+
+
+class SessionCaches:
+    """The four cross-job cache families plus hit/miss bookkeeping."""
+
+    def __init__(self, library: CellLibrary):  # noqa: D107
+        self.library = library
+        self._networks: Dict[str, Tuple[object, BaseNetwork]] = {}
+        self._layouts: Dict[Tuple, Tuple[PositionMap, Partition]] = {}
+        self._matchers: Dict[str, Matcher] = {}
+        self._routes: Dict[Tuple[str, DieKey], RouteCache] = {}
+        self._counts: Dict[str, int] = {
+            "netlist_hits": 0, "netlist_misses": 0,
+            "layout_hits": 0, "layout_misses": 0,
+            "matcher_hits": 0, "matcher_misses": 0,
+            "route_pool_hits": 0, "route_pool_misses": 0,
+        }
+
+    # -- netlists --------------------------------------------------------
+
+    def network(self, source: str) -> Tuple[str, object, BaseNetwork]:
+        """(key, source network, decomposed base) for a job source."""
+        key = source_key(source)
+        cached = self._networks.get(key)
+        if cached is not None:
+            self._counts["netlist_hits"] += 1
+            network, base = cached
+            return key, network, base
+        self._counts["netlist_misses"] += 1
+        if source.endswith(".blif"):
+            with open(source) as handle:
+                network = parse_blif(handle.read())
+        else:
+            name, _, scale = source.partition("@")
+            network = benchmark(name, float(scale) if scale else 0.125)
+        base = decompose(network)
+        self._networks[key] = (network, base)
+        return key, network, base
+
+    # -- layouts ---------------------------------------------------------
+
+    def layout(self, key: str, base: BaseNetwork, floorplan: Floorplan,
+               config: FlowConfig) -> Tuple[PositionMap, Partition]:
+        """(positions, partition) for a (netlist, die, config) triple.
+
+        The placement is seeded exactly as the uninjected entry points
+        seed it (``config.seed`` / ``config.place_engine``), so cached
+        layouts are bit-identical to freshly computed ones.
+        """
+        lkey = (key, die_key(floorplan), config.seed, config.place_engine,
+                config.partition_style)
+        cached = self._layouts.get(lkey)
+        if cached is not None:
+            self._counts["layout_hits"] += 1
+            return cached
+        self._counts["layout_misses"] += 1
+        positions = place_base_network(base, floorplan, seed=config.seed,
+                                       engine=config.place_engine)
+        part = make_partition(base, config.partition_style,
+                              positions=positions)
+        self._layouts[lkey] = (positions, part)
+        return positions, part
+
+    # -- matchers --------------------------------------------------------
+
+    def matcher(self, key: str, base: BaseNetwork) -> Matcher:
+        """The shared matcher (match memo + cover memo) of a netlist."""
+        cached = self._matchers.get(key)
+        if cached is not None:
+            self._counts["matcher_hits"] += 1
+            return cached
+        self._counts["matcher_misses"] += 1
+        matcher = Matcher(base, self.library)
+        self._matchers[key] = matcher
+        return matcher
+
+    # -- route pools -----------------------------------------------------
+
+    def route_pool(self, key: str, floorplan: Floorplan) -> RouteCache:
+        """The per-(netlist, die) warm-start route cache.
+
+        Distinct dies (or netlists) map to distinct pool entries, so a
+        job can never warm-start from a foreign shard; within one
+        entry, the flow layer's clean-snapshot rule (only
+        zero-violation routings are stored) applies across jobs exactly
+        as it does across the K points of one sweep.
+        """
+        rkey = (key, die_key(floorplan))
+        cached = self._routes.get(rkey)
+        if cached is not None:
+            self._counts["route_pool_hits"] += 1
+            return cached
+        self._counts["route_pool_misses"] += 1
+        cache = RouteCache()
+        self._routes[rkey] = cache
+        return cache
+
+    @property
+    def route_pool_keys(self) -> Tuple[Tuple[str, DieKey], ...]:
+        """The (netlist, die) keys currently pooled (isolation tests)."""
+        return tuple(self._routes)
+
+    # -- reporting -------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Plain hit/miss snapshot (plus pool sizes)."""
+        out = dict(self._counts)
+        out["netlist_entries"] = len(self._networks)
+        out["layout_entries"] = len(self._layouts)
+        out["matcher_entries"] = len(self._matchers)
+        out["route_pool_entries"] = len(self._routes)
+        return out
+
+    def stats(self) -> StatsRegistry:
+        """The snapshot as ``serve.*`` work/env stats."""
+        registry = StatsRegistry()
+        for name, value in self._counts.items():
+            registry.work(f"serve.{name}", value)
+        registry.env("serve.netlist_entries", len(self._networks))
+        registry.env("serve.layout_entries", len(self._layouts))
+        registry.env("serve.matcher_entries", len(self._matchers))
+        registry.env("serve.route_pool_entries", len(self._routes))
+        return registry

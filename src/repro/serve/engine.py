@@ -1,0 +1,203 @@
+"""The long-lived batch engine behind ``repro serve``.
+
+One :class:`ServeEngine` owns a :class:`~repro.serve.caches.SessionCaches`
+and executes a stream of :class:`~repro.serve.jobs.Job` requests
+against it.  The execution model is deliberately simple and fully
+deterministic:
+
+* **Jobs run sequentially, in submission order.**  The queue is the
+  determinism rule: results stream out in input order, and every job
+  sees exactly the cache state its predecessors left behind —
+  independent of worker count, because caches only ever make jobs
+  *faster*, never different.
+* **Parallelism lives inside jobs.**  Each job's K points, portfolio
+  probes and placement attempts fan out over the existing
+  :mod:`repro.exec` process pool (``workers`` = the engine default or
+  the job's override), with the PR 1/PR 7 guarantees intact: rows are
+  bit-identical at any worker count.
+* **Caches are injected, not rebuilt.**  The netlist, layout, matcher
+  and per-(die, netlist) route-cache pool come from the session cache;
+  the flow entry points accept them as injected caches and thread them
+  exactly as their internal ones.
+
+A failing job (unknown benchmark, unroutable die, bad BLIF) reports
+``ok: false`` with the error message and the stream continues — one
+poisoned request must not take down a batch of hundreds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import time
+from typing import Callable, Iterable, List, Optional
+
+from ..core import (
+    FlowConfig,
+    PAPER_K_VALUES,
+    congestion_aware_flow,
+    k_search,
+    k_sweep,
+)
+from ..errors import ReproError
+from ..library import library_build_stats
+from ..obs import Tracer, write_congestion_artifacts
+from ..place import Floorplan
+from .caches import SessionCaches
+from .jobs import Job, JobResult
+
+__all__ = ["ServeEngine"]
+
+#: Stats suffixes summed over a job's evaluated points into the
+#: engine-level cache/work tallies (all plan-dependent by design).
+_POINT_WORK_KEYS = ("route.routes_reused", "route.reuse_skipped",
+                    "cover.memo_hits", "map.match_cache_hits")
+
+
+def _artifact_slug(job_id: str) -> str:
+    """A filesystem-safe directory name for a job's artifacts."""
+    return re.sub(r"[^A-Za-z0-9._-]", "_", job_id) or "job"
+
+
+class ServeEngine:
+    """Session-scoped batch executor: jobs in, deterministic results out."""
+
+    def __init__(self, config: FlowConfig, workers: int = 1,
+                 tracer: Optional[Tracer] = None,
+                 artifacts_dir: str = "",
+                 caches: Optional[SessionCaches] = None):  # noqa: D107
+        self.config = config
+        self.workers = max(1, workers)
+        self.tracer = tracer
+        self.artifacts_dir = artifacts_dir
+        self.caches = caches if caches is not None \
+            else SessionCaches(config.library)
+        self.results: List[JobResult] = []
+        self._t_jobs: List[dict] = []
+        self._work = {key: 0 for key in _POINT_WORK_KEYS}
+        self._t_wall = 0.0
+
+    # -- one job ---------------------------------------------------------
+
+    def run_job(self, job: Job) -> JobResult:
+        """Execute one job against the session caches."""
+        t0 = time.perf_counter()
+        span_cm = (self.tracer.span("job", id=job.id, cmd=job.cmd,
+                                    source=job.source)
+                   if self.tracer is not None else None)
+        try:
+            if span_cm is not None:
+                with span_cm:
+                    result, points = self._dispatch(job)
+            else:
+                result, points = self._dispatch(job)
+        except (ReproError, OSError, KeyError, ValueError) as exc:
+            result, points = JobResult(
+                id=job.id, cmd=job.cmd, source=job.source, ok=False,
+                verdict="error", error=f"{type(exc).__name__}: {exc}"), []
+        t_job = time.perf_counter() - t0
+        for point in points:
+            for key in _POINT_WORK_KEYS:
+                self._work[key] += int(point.stats.get(key, 0))
+        if self.artifacts_dir and points:
+            import os
+            write_congestion_artifacts(
+                points,
+                os.path.join(self.artifacts_dir, _artifact_slug(job.id)))
+        self._t_jobs.append({"id": job.id, "cmd": job.cmd, "ok": result.ok,
+                             "t_s": t_job})
+        self._t_wall += t_job
+        self.results.append(result)
+        return result
+
+    def _dispatch(self, job: Job):
+        """Run the job's entry point; returns (result, evaluated points)."""
+        key, _network, base = self.caches.network(job.source)
+        config = dataclasses.replace(
+            self.config,
+            workers=job.workers if job.workers is not None else self.workers)
+        floorplan = Floorplan.from_rows(job.rows) if job.rows else \
+            Floorplan.for_area(base.num_gates() * 12.0 / 0.35)
+        positions, part = self.caches.layout(key, base, floorplan, config)
+        matcher = self.caches.matcher(key, base)
+        route_cache = (self.caches.route_pool(key, floorplan)
+                       if config.route_reuse else None)
+        k_values = list(job.k) if job.k is not None else list(PAPER_K_VALUES)
+        if job.cmd == "flow":
+            flow = congestion_aware_flow(
+                base, floorplan, config, k_schedule=k_values,
+                positions=positions, tolerance=job.tolerance,
+                tracer=self.tracer, partition=part, matcher=matcher,
+                route_cache=route_cache)
+            return JobResult(
+                id=job.id, cmd=job.cmd, source=job.source,
+                ok=flow.converged, verdict=flow.verdict,
+                chosen_k=flow.chosen_k,
+                rows=[p.row() for p in flow.history]), flow.history
+        if job.cmd == "ksweep":
+            points = k_sweep(
+                base, floorplan, config, k_values=k_values,
+                positions=positions, tracer=self.tracer, partition=part,
+                matcher=matcher, route_cache=route_cache)
+            return JobResult(
+                id=job.id, cmd=job.cmd, source=job.source, ok=True,
+                verdict="swept", rows=[p.row() for p in points]), points
+        assert job.cmd == "ksearch"
+        search = k_search(
+            base, floorplan, config, k_values=k_values,
+            positions=positions, strategy=job.strategy,
+            tolerance=job.tolerance, tracer=self.tracer, partition=part,
+            matcher=matcher, route_cache=route_cache)
+        return JobResult(
+            id=job.id, cmd=job.cmd, source=job.source,
+            ok=search.chosen is not None, verdict=search.verdict,
+            chosen_k=search.chosen_k,
+            rows=[p.row() for p in search.table_points()]), search.evaluated
+
+    # -- the stream ------------------------------------------------------
+
+    def run(self, jobs: Iterable[Job],
+            on_result: Optional[Callable[[JobResult], None]] = None
+            ) -> List[JobResult]:
+        """Run a job stream in order; ``on_result`` streams lines out."""
+        out: List[JobResult] = []
+        for job in jobs:
+            result = self.run_job(job)
+            out.append(result)
+            if on_result is not None:
+                on_result(result)
+        return out
+
+    # -- reporting -------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Machine-readable session summary (plan-dependent numbers).
+
+        Jobs/sec over in-engine job wall-time, the session-cache
+        hit/miss counters with derived rates, the library build-memo
+        counters, and the per-job timing list.  Everything here may
+        legitimately vary run to run; the deterministic payload is the
+        result lines themselves.
+        """
+        cache = self.caches.counters()
+        cache.update(self._work)
+        lib = library_build_stats()
+        cache["library_build_hits"] = int(lib["library.build_hits"])
+        cache["library_build_misses"] = int(lib["library.build_misses"])
+        rates = {}
+        for family in ("netlist", "layout", "matcher", "route_pool",
+                       "library_build"):
+            hits = cache[f"{family}_hits"]
+            total = hits + cache[f"{family}_misses"]
+            rates[family] = (hits / total) if total else 0.0
+        n = len(self.results)
+        return {
+            "jobs": n,
+            "ok": sum(1 for r in self.results if r.ok),
+            "workers": self.workers,
+            "t_jobs_s": self._t_wall,
+            "jobs_per_sec": (n / self._t_wall) if self._t_wall > 0 else 0.0,
+            "cache": cache,
+            "cache_hit_rates": rates,
+            "per_job": list(self._t_jobs),
+        }

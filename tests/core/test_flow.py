@@ -455,3 +455,88 @@ class TestFlowTracing:
             point.stats.time("eval.t_total", 0.0)
         with pytest.raises(StatsCollisionError):
             point.stats.absorb(point.routing.stats)
+
+
+class TestInjectedCaches:
+    """Injected partition/matcher/route-cache are pure speedups.
+
+    The serve engine hands the flow entry points session-scoped caches;
+    every row must be bit-identical to the uninjected defaults.
+    """
+
+    K_VALUES = [0.0, 0.001, 0.01]
+
+    def _injected(self, base, config, positions):
+        from repro.core import Matcher
+        from repro.core.partition import partition as make_partition
+        from repro.route import RouteCache
+
+        part = make_partition(base, config.partition_style,
+                              positions=positions)
+        matcher = Matcher(base, config.library)
+        return part, matcher, RouteCache()
+
+    def test_k_sweep_injection_identical(self, flow_setup):
+        base, config, floorplan, positions = flow_setup
+        part, matcher, cache = self._injected(base, config, positions)
+        default = k_sweep(base, floorplan, config, k_values=self.K_VALUES,
+                          positions=positions)
+        injected = k_sweep(base, floorplan, config, k_values=self.K_VALUES,
+                           positions=positions, partition=part,
+                           matcher=matcher, route_cache=cache)
+        assert [p.row() for p in injected] == [p.row() for p in default]
+        assert [p.routed_wirelength for p in injected] == \
+            [p.routed_wirelength for p in default]
+        # Running again with the now-warm caches is still identical.
+        warm = k_sweep(base, floorplan, config, k_values=self.K_VALUES,
+                       positions=positions, partition=part,
+                       matcher=matcher, route_cache=cache)
+        assert [p.row() for p in warm] == [p.row() for p in default]
+        assert warm[0].stats["routes_reused"] > 0
+
+    def test_flow_injection_identical(self, flow_setup):
+        base, config, floorplan, positions = flow_setup
+        part, matcher, cache = self._injected(base, config, positions)
+        default = congestion_aware_flow(base, floorplan, config,
+                                        k_schedule=[0.0, 0.01],
+                                        tolerance=1000,
+                                        positions=positions)
+        injected = congestion_aware_flow(base, floorplan, config,
+                                         k_schedule=[0.0, 0.01],
+                                         tolerance=1000,
+                                         positions=positions,
+                                         partition=part, matcher=matcher,
+                                         route_cache=cache)
+        assert [p.row() for p in injected.history] == \
+            [p.row() for p in default.history]
+        assert injected.verdict == default.verdict
+        assert injected.chosen_k == default.chosen_k
+
+    def test_k_search_injection_identical(self, flow_setup):
+        from repro.core import k_search
+
+        base, config, floorplan, positions = flow_setup
+        part, matcher, cache = self._injected(base, config, positions)
+        default = k_search(base, floorplan, config,
+                           k_values=self.K_VALUES, positions=positions,
+                           tolerance=1000)
+        injected = k_search(base, floorplan, config,
+                            k_values=self.K_VALUES, positions=positions,
+                            tolerance=1000, partition=part,
+                            matcher=matcher, route_cache=cache)
+        assert injected.chosen_k == default.chosen_k
+        assert [p.row() for p in injected.table_points()] == \
+            [p.row() for p in default.table_points()]
+
+    def test_route_reuse_off_ignores_injected_cache(self, flow_setup):
+        from dataclasses import replace
+
+        base, config, floorplan, positions = flow_setup
+        part, matcher, cache = self._injected(base, config, positions)
+        off = replace(config, route_reuse=False)
+        points = k_sweep(base, floorplan, off, k_values=self.K_VALUES,
+                         positions=positions, partition=part,
+                         matcher=matcher, route_cache=cache)
+        assert all(p.stats["routes_reused"] == 0 for p in points)
+        assert cache.routes == {}, \
+            "route_reuse=False must not touch the injected cache"

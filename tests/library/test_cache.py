@@ -1,0 +1,93 @@
+"""Tests for the content-keyed library build memo."""
+
+import pytest
+
+from repro.library import (
+    CORELIB018,
+    build_corelib018,
+    cached_library,
+    clear_library_cache,
+    content_key,
+    library_build_stats,
+)
+from repro.library.liberty import dump_library, load_library
+
+
+class TestContentKey:
+    def test_stable_and_content_sensitive(self):
+        assert content_key("abc") == content_key("abc")
+        assert content_key("abc") != content_key("abd")
+        assert content_key("x").startswith("sha256:")
+
+
+class TestCachedLibrary:
+    def test_memo_identity(self):
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return CORELIB018
+
+        first = cached_library("test:memo-identity", builder)
+        second = cached_library("test:memo-identity", builder)
+        assert first is second
+        assert len(builds) == 1
+
+    def test_distinct_keys_build_separately(self):
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return CORELIB018
+
+        cached_library("test:distinct-a", builder)
+        cached_library("test:distinct-b", builder)
+        assert len(builds) == 2
+
+    def test_failed_build_not_poisoned(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ValueError("transient")
+            return CORELIB018
+
+        with pytest.raises(ValueError):
+            cached_library("test:flaky", flaky)
+        assert cached_library("test:flaky", flaky) is CORELIB018
+        assert len(calls) == 2
+
+    def test_counters_advance(self):
+        before = library_build_stats()
+        cached_library("test:counters", lambda: CORELIB018)
+        cached_library("test:counters", lambda: CORELIB018)
+        after = library_build_stats()
+        assert after["library.build_misses"] >= \
+            before["library.build_misses"] + 1
+        assert after["library.build_hits"] >= \
+            before["library.build_hits"] + 1
+        assert after["library.cached"] >= 1
+
+
+class TestBuilderMemoization:
+    def test_corelib_builder_memoized(self):
+        assert build_corelib018() is build_corelib018()
+
+    def test_liberty_load_content_keyed(self):
+        text = dump_library(CORELIB018)
+        first = load_library(text)
+        second = load_library(text)
+        assert first is second
+        # Different content (a comment changes the hash) -> new build.
+        third = load_library(text + "\n")
+        assert third is not first
+        assert third.cell_names() == first.cell_names()
+
+    def test_clear_resets(self):
+        load_library(dump_library(CORELIB018))
+        clear_library_cache()
+        stats = library_build_stats()
+        assert stats["library.build_hits"] == 0
+        assert stats["library.build_misses"] == 0
+        assert stats["library.cached"] == 0

@@ -1,0 +1,104 @@
+"""Tests for the ``repro serve`` CLI wiring and shared parent flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+JOBS = """\
+# two tiny calibrated jobs
+{"id": "a", "cmd": "ksweep", "source": "spla@0.01", "rows": 12, "k": [0.0]}
+{"id": "b", "cmd": "flow", "source": "spla@0.01", "rows": 12}
+"""
+
+
+class TestParserInheritance:
+    """The shared execution flags come from one parent parser."""
+
+    @pytest.mark.parametrize("command,extra", [
+        ("flow", ["spla@0.01"]),
+        ("ksweep", ["spla@0.01"]),
+        ("ksearch", ["spla@0.01"]),
+        ("serve", []),
+    ])
+    def test_shared_flags_accepted(self, command, extra):
+        args = build_parser().parse_args(
+            [command] + extra + ["--rows", "9", "--workers", "3",
+                                 "--route-engine", "vector",
+                                 "--place-engine", "reference",
+                                 "--no-route-reuse"])
+        assert args.rows == 9
+        assert args.workers == 3
+        assert args.route_engine == "vector"
+        assert args.place_engine == "reference"
+        assert args.no_route_reuse is True
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.jobs == "-"
+        assert args.output == ""
+        assert args.summary == ""
+        assert args.workers == 1
+
+
+class TestServeCommand:
+    def test_file_stream_to_output_and_summary(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOBS)
+        out = tmp_path / "results.jsonl"
+        summary = tmp_path / "summary.json"
+        rc = main(["serve", str(jobs), "-o", str(out),
+                   "--summary", str(summary)])
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert [json.loads(line)["id"] for line in lines] == ["a", "b"]
+        assert all(json.loads(line)["ok"] for line in lines)
+        data = json.loads(summary.read_text())
+        assert data["jobs"] == 2
+        assert data["ok"] == 2
+        assert data["jobs_per_sec"] > 0
+        assert "serve: 2/2 jobs ok" in capsys.readouterr().err
+
+    def test_stdin_stream_to_stdout(self, monkeypatch, capsys, tmp_path):
+        import io
+        import sys as _sys
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(JOBS))
+        rc = main(["serve"])
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert [json.loads(line)["id"] for line in lines] == ["a", "b"]
+
+    def test_malformed_stream_exits_2(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text('{"cmd": "nope", "source": "s"}\n')
+        rc = main(["serve", str(jobs)])
+        assert rc == 2
+        assert "serve:" in capsys.readouterr().err
+
+    def test_failing_job_exits_1_but_streams_all(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            '{"id": "bad", "cmd": "flow", "source": "zzz@0.01"}\n'
+            '{"id": "ok", "cmd": "ksweep", "source": "spla@0.01", '
+            '"rows": 12, "k": [0.0]}\n')
+        out = tmp_path / "results.jsonl"
+        rc = main(["serve", str(jobs), "-o", str(out)])
+        assert rc == 1
+        lines = [json.loads(line) for line in
+                 out.read_text().splitlines()]
+        assert [line["ok"] for line in lines] == [False, True]
+
+    def test_trace_emission(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOBS)
+        out = tmp_path / "results.jsonl"
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["serve", str(jobs), "-o", str(out),
+                   "--trace", str(trace)])
+        assert rc == 0
+        events = [json.loads(line) for line in
+                  trace.read_text().splitlines()]
+        assert events
+        job_spans = [e for e in events if e.get("name") == "job"]
+        assert {span["attrs"]["id"] for span in job_spans} == {"a", "b"}
