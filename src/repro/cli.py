@@ -11,7 +11,11 @@ Subcommands
 (``--k-search grid|bisect|portfolio``),
 ``serve``   — long-lived batch engine: a JSONL job stream (flow/ksweep/
 ksearch requests) executed against session-scoped caches, results
-streamed back as JSONL,
+streamed back as JSONL in submission order; ``--serve-workers N`` runs
+independent (netlist, die) affinity chains concurrently, ``--cache-dir``
+persists layouts/route pools across restarts, and
+``--cache-max-entries``/``--cache-max-mb`` bound the session caches
+(full reference: ``docs/serve.md``),
 ``sta``     — map, place, route and time a circuit; print the critical path.
 
 ``flow``, ``ksweep``, ``ksearch`` and ``serve`` share one execution-flag
@@ -49,7 +53,7 @@ from .library import CORELIB018
 from .network import decompose
 from .obs import Tracer, profile_report, write_congestion_artifacts
 from .place import Floorplan, place_base_network
-from .serve import JobError, ServeEngine, parse_jobs
+from .serve import CacheBounds, JobError, ServeEngine, parse_jobs
 from .synth import optimize
 
 
@@ -225,8 +229,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if (args.trace or args.profile) else None
     artifacts_dir = args.artifacts or \
         (args.trace + ".artifacts" if args.trace else "")
+    bounds = CacheBounds(
+        max_entries=args.cache_max_entries,
+        max_bytes=int(args.cache_max_mb * 1024 * 1024)) \
+        if (args.cache_max_entries or args.cache_max_mb) else None
     engine = ServeEngine(_flow_config(args), workers=args.workers,
-                         tracer=tracer, artifacts_dir=artifacts_dir)
+                         tracer=tracer, artifacts_dir=artifacts_dir,
+                         serve_workers=args.serve_workers,
+                         bounds=bounds, cache_dir=args.cache_dir)
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         engine.run(jobs, on_result=lambda result: (
@@ -234,6 +244,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.output:
             out.close()
+    engine.finish()
     summary = engine.summary()
     if args.summary:
         with open(args.summary, "w") as handle:
@@ -401,6 +412,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--summary", metavar="FILE", default="",
                          help="write the engine summary (jobs/sec, cache "
                               "hit rates) as JSON")
+    p_serve.add_argument("--serve-workers", type=int, default=1,
+                         help="run independent jobs concurrently, grouped "
+                              "into (netlist, die) affinity chains "
+                              "(output is byte-identical to "
+                              "--serve-workers 1)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default="",
+                         help="persistent on-disk cache: cold engines "
+                              "warm-start layouts and route pools from "
+                              "here; stale/corrupt entries are skipped")
+    p_serve.add_argument("--cache-max-entries", type=int, default=0,
+                         help="LRU bound on entries per cache family "
+                              "(0 = unbounded)")
+    p_serve.add_argument("--cache-max-mb", type=float, default=0.0,
+                         help="LRU bound on the estimated total cache "
+                              "footprint in MiB (0 = unbounded)")
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 

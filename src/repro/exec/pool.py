@@ -92,7 +92,8 @@ def _pool_call(task: Any) -> Any:
 def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
             workers: int = 1,
             stats: Optional[StatsRegistry] = None,
-            tracer: Optional[Any] = None) -> List[Any]:
+            tracer: Optional[Any] = None,
+            on_result: Optional[Callable[[Any], None]] = None) -> List[Any]:
     """Apply ``fn(payload, task)`` to every task; results in task order.
 
     ``workers <= 1`` (or a single task) runs the plain serial loop.
@@ -101,6 +102,15 @@ def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
     memo) amortise across a worker's share of the tasks.  Any failure
     to create or use the pool falls back to the serial loop — the
     results are the same either way.
+
+    ``on_result``, when given, is invoked once per result **in task
+    order** as results become available (``pool.imap`` under the pool,
+    per-iteration in the serial loop) — this is what lets a caller
+    stream an ordered output while later tasks are still running.  The
+    callback runs in the calling process and must not raise.  Under the
+    serial fallback, results already delivered before a mid-stream pool
+    failure are recomputed (task functions are deterministic) but *not*
+    re-delivered, so the callback sees every task exactly once.
 
     ``stats``, when given, is a :class:`StatsRegistry` receiving the
     environment facts ``exec.workers`` (processes actually used; 1 for
@@ -113,9 +123,17 @@ def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
     tasks = list(tasks)
     workers = max(1, int(workers))
     nproc = min(workers, len(tasks))
+    delivered = 0
+
+    def deliver(result: Any) -> None:
+        nonlocal delivered
+        if on_result is not None:
+            on_result(result)
+        delivered += 1
+
     if nproc > 1 and pool_available():
         try:
-            results = _fan_out_pool(fn, payload, tasks, nproc)
+            results = _fan_out_pool(fn, payload, tasks, nproc, deliver)
             if stats is not None:
                 stats.env("exec.workers", nproc)
                 stats.env("exec.parallel", 1)
@@ -134,13 +152,24 @@ def fan_out(fn: TaskFn, payload: Any, tasks: Sequence[Any],
     if stats is not None:
         stats.env("exec.workers", 1)
         stats.env("exec.parallel", 0)
-    return [fn(payload, task) for task in tasks]
+    results = []
+    for index, task in enumerate(tasks):
+        result = fn(payload, task)
+        results.append(result)
+        if index >= delivered:
+            deliver(result)
+    return results
 
 
 def _fan_out_pool(fn: TaskFn, payload: Any, tasks: List[Any],
-                  nproc: int) -> List[Any]:
+                  nproc: int,
+                  deliver: Callable[[Any], None]) -> List[Any]:
     ctx = multiprocessing.get_context(_start_method())
     chunksize = max(1, math.ceil(len(tasks) / nproc))
     with ctx.Pool(processes=nproc, initializer=_pool_initializer,
                   initargs=(fn, payload)) as pool:
-        return pool.map(_pool_call, tasks, chunksize=chunksize)
+        results: List[Any] = []
+        for result in pool.imap(_pool_call, tasks, chunksize=chunksize):
+            results.append(result)
+            deliver(result)
+        return results

@@ -4,26 +4,41 @@ The CLI's one-shot commands pay the full cold-start tax per run; this
 package turns the same flow entry points into a cache-warm service:
 
 * :class:`Job` / :class:`JobResult` — the JSONL request/response model
-  (deterministic result lines, byte-identical at any worker count);
+  (deterministic result lines, byte-identical at any worker count;
+  field-by-field reference in ``docs/jobs-schema.md``);
 * :class:`SessionCaches` — content-keyed netlist, layout, matcher and
-  per-(die, netlist) route-cache pools shared across jobs;
-* :class:`ServeEngine` — the deterministic sequential job queue whose
+  per-(die, netlist) route-cache pools shared across jobs, with LRU
+  :class:`CacheBounds` and an optional persistent disk tier
+  (:class:`PersistentCache`, ``--cache-dir``);
+* the :mod:`~repro.serve.scheduler` — (netlist, die) affinity chains
+  that run independent jobs concurrently (``--serve-workers``) while
+  keeping the output stream byte-identical to a sequential run;
+* :class:`ServeEngine` — the batch executor tying them together, whose
   per-job stages fan out over the :mod:`repro.exec` pool.
+
+Architecture notes live in ``docs/serve.md``.
 """
 
-from .caches import SessionCaches, die_key, source_key
+from .caches import CacheBounds, SessionCaches, die_key, source_key
 from .engine import ServeEngine
 from .jobs import JOB_COMMANDS, Job, JobError, JobResult, parse_job, parse_jobs
+from .persist import PersistentCache, cache_fingerprint
+from .scheduler import affinity_key, plan_chains
 
 __all__ = [
     "JOB_COMMANDS",
+    "CacheBounds",
     "Job",
     "JobError",
     "JobResult",
+    "PersistentCache",
     "ServeEngine",
     "SessionCaches",
+    "affinity_key",
+    "cache_fingerprint",
     "die_key",
     "parse_job",
     "parse_jobs",
+    "plan_chains",
     "source_key",
 ]

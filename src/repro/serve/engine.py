@@ -2,23 +2,33 @@
 
 One :class:`ServeEngine` owns a :class:`~repro.serve.caches.SessionCaches`
 and executes a stream of :class:`~repro.serve.jobs.Job` requests
-against it.  The execution model is deliberately simple and fully
-deterministic:
+against it.  The execution model is deterministic by construction:
 
-* **Jobs run sequentially, in submission order.**  The queue is the
-  determinism rule: results stream out in input order, and every job
-  sees exactly the cache state its predecessors left behind —
-  independent of worker count, because caches only ever make jobs
-  *faster*, never different.
-* **Parallelism lives inside jobs.**  Each job's K points, portfolio
-  probes and placement attempts fan out over the existing
-  :mod:`repro.exec` process pool (``workers`` = the engine default or
-  the job's override), with the PR 1/PR 7 guarantees intact: rows are
-  bit-identical at any worker count.
-* **Caches are injected, not rebuilt.**  The netlist, layout, matcher
-  and per-(die, netlist) route-cache pool come from the session cache;
-  the flow entry points accept them as injected caches and thread them
-  exactly as their internal ones.
+* **Results stream in submission order, keyed by job id** — at any
+  ``serve_workers`` count.  With ``serve_workers == 1`` jobs run
+  strictly sequentially; with ``serve_workers > 1`` the
+  :mod:`~repro.serve.scheduler` groups jobs into (netlist, die)
+  *affinity chains* — same-key jobs stay ordered on one worker,
+  cross-key chains interleave freely across the :mod:`repro.exec`
+  process pool.  A job's cache reads therefore see exactly the
+  snapshot a sequential run would have produced for its (netlist,
+  die), and because every cache is a pure speedup, the emitted result
+  lines are byte-identical either way (asserted by
+  ``tests/serve/test_scheduler.py`` and ``benchmarks/bench_serve.py``).
+* **Parallelism also lives inside jobs.**  Each job's K points,
+  portfolio probes and placement attempts fan out over the
+  :mod:`repro.exec` pool (``workers`` = the engine default or the
+  job's override), with the PR 1/PR 7 guarantees intact: rows are
+  bit-identical at any worker count.  Inside a chain worker the inner
+  fan-out degrades to the serial loop (pool workers cannot fork), so
+  ``serve_workers`` and ``workers`` are complementary, not
+  multiplicative.
+* **Caches are injected, not rebuilt — and they have a lifecycle.**
+  The netlist, layout, matcher and per-(die, netlist) route-cache pool
+  come from the session cache; :class:`~repro.serve.caches.CacheBounds`
+  adds LRU entry/byte limits for long sessions, and ``cache_dir``
+  attaches the persistent disk tier so even *cold* engines warm-start
+  layouts and route pools (:mod:`repro.serve.persist`).
 
 A failing job (unknown benchmark, unroutable die, bad BLIF) reports
 ``ok: false`` with the error message and the stream continues — one
@@ -30,7 +40,7 @@ from __future__ import annotations
 import dataclasses
 import re
 import time
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core import (
     FlowConfig,
@@ -40,11 +50,19 @@ from ..core import (
     k_sweep,
 )
 from ..errors import ReproError
+from ..exec import fan_out
 from ..library import library_build_stats
 from ..obs import Tracer, write_congestion_artifacts
 from ..place import Floorplan
-from .caches import SessionCaches
+from .caches import (
+    CacheBounds,
+    SessionCaches,
+    counters_to_stats,
+    merge_counters,
+)
 from .jobs import Job, JobResult
+from .persist import PersistentCache, cache_fingerprint
+from .scheduler import plan_chains, run_chain
 
 __all__ = ["ServeEngine"]
 
@@ -60,27 +78,50 @@ def _artifact_slug(job_id: str) -> str:
 
 
 class ServeEngine:
-    """Session-scoped batch executor: jobs in, deterministic results out."""
+    """Session-scoped batch executor: jobs in, deterministic results out.
+
+    ``workers`` is the default in-job fan-out; ``serve_workers`` the
+    cross-job chain fan-out (see the module docstring for how the two
+    compose).  ``bounds`` caps the session caches, ``cache_dir``
+    attaches the persistent disk tier; both default to off.  An
+    explicitly injected ``caches`` wins over ``bounds``/``cache_dir``.
+    """
 
     def __init__(self, config: FlowConfig, workers: int = 1,
                  tracer: Optional[Tracer] = None,
                  artifacts_dir: str = "",
-                 caches: Optional[SessionCaches] = None):  # noqa: D107
+                 caches: Optional[SessionCaches] = None,
+                 serve_workers: int = 1,
+                 bounds: Optional[CacheBounds] = None,
+                 cache_dir: str = ""):  # noqa: D107
         self.config = config
         self.workers = max(1, workers)
+        self.serve_workers = max(1, serve_workers)
         self.tracer = tracer
         self.artifacts_dir = artifacts_dir
-        self.caches = caches if caches is not None \
-            else SessionCaches(config.library)
+        self.bounds = bounds
+        self.cache_dir = cache_dir
+        if caches is not None:
+            self.caches = caches
+        else:
+            persist = PersistentCache(
+                cache_dir, cache_fingerprint(config.library)) \
+                if cache_dir else None
+            self.caches = SessionCaches(config.library, bounds=bounds,
+                                        persist=persist)
         self.results: List[JobResult] = []
         self._t_jobs: List[dict] = []
         self._work = {key: 0 for key in _POINT_WORK_KEYS}
+        self._chain_counters: Dict[str, int] = {}
         self._t_wall = 0.0
+        self._t_run = 0.0
+        self._pool_fallbacks = 0
+        self._finished = False
 
     # -- one job ---------------------------------------------------------
 
     def run_job(self, job: Job) -> JobResult:
-        """Execute one job against the session caches."""
+        """Execute one job against the session caches (sequential path)."""
         t0 = time.perf_counter()
         span_cm = (self.tracer.span("job", id=job.id, cmd=job.cmd,
                                     source=job.source)
@@ -95,6 +136,9 @@ class ServeEngine:
             result, points = JobResult(
                 id=job.id, cmd=job.cmd, source=job.source, ok=False,
                 verdict="error", error=f"{type(exc).__name__}: {exc}"), []
+        # Route pools may have advanced during the job: re-account them
+        # and write them through to the disk tier before the next job.
+        self.caches.sync()
         t_job = time.perf_counter() - t0
         for point in points:
             for key in _POINT_WORK_KEYS:
@@ -159,27 +203,124 @@ class ServeEngine:
     def run(self, jobs: Iterable[Job],
             on_result: Optional[Callable[[JobResult], None]] = None
             ) -> List[JobResult]:
-        """Run a job stream in order; ``on_result`` streams lines out."""
-        out: List[JobResult] = []
-        for job in jobs:
-            result = self.run_job(job)
-            out.append(result)
-            if on_result is not None:
-                on_result(result)
+        """Run a job stream; ``on_result`` streams lines out.
+
+        Results are returned — and streamed — in submission order
+        regardless of ``serve_workers``; see the module docstring for
+        the scheduling/determinism contract.
+        """
+        jobs = list(jobs)
+        t0 = time.perf_counter()
+        if self.serve_workers > 1 and len(jobs) > 1:
+            out = self._run_parallel(jobs, on_result)
+        else:
+            out = []
+            for job in jobs:
+                result = self.run_job(job)
+                out.append(result)
+                if on_result is not None:
+                    on_result(result)
+        self._t_run += time.perf_counter() - t0
         return out
 
+    def _run_parallel(self, jobs: List[Job],
+                      on_result: Optional[Callable[[JobResult], None]]
+                      ) -> List[JobResult]:
+        """Fan affinity chains out over the process pool.
+
+        Chains come back in chain-index order (ordered streaming), and
+        chain 0 holds submission index 0, so buffering per-job results
+        until their submission index is next reproduces the sequential
+        emission order exactly.
+        """
+        from ..obs import StatsRegistry
+
+        chains = plan_chains(jobs)
+        payload = (self.config, self.workers, self.bounds, self.cache_dir,
+                   self.artifacts_dir, self.tracer is not None)
+        tasks = [(index, tuple((i, jobs[i]) for i in chain))
+                 for index, chain in enumerate(chains)]
+
+        pending: Dict[int, JobResult] = {}
+        ordered: List[JobResult] = []
+        timings: List[dict] = []
+        next_emit = 0
+
+        def collect(outcome) -> None:
+            nonlocal next_emit
+            if self.tracer is not None:
+                self.tracer.adopt(outcome.span)
+            merge_counters(self._chain_counters, [outcome.counters])
+            for key, value in outcome.work.items():
+                self._work[key] = self._work.get(key, 0) + int(value)
+            timings.extend(outcome.per_job)
+            for index, result in outcome.results:
+                pending[index] = result
+            while next_emit in pending:
+                result = pending.pop(next_emit)
+                ordered.append(result)
+                if on_result is not None:
+                    on_result(result)
+                next_emit += 1
+
+        exec_stats = StatsRegistry()
+        fan_out(run_chain, payload, tasks, workers=self.serve_workers,
+                stats=exec_stats, tracer=self.tracer, on_result=collect)
+        if exec_stats.get("exec.fallback", 0):
+            self._pool_fallbacks += 1
+        by_id = {entry["id"]: entry for entry in timings}
+        for result in ordered:
+            entry = by_id.get(result.id, {"id": result.id,
+                                          "cmd": result.cmd,
+                                          "ok": result.ok, "t_s": 0.0})
+            self._t_jobs.append(entry)
+            self._t_wall += entry["t_s"]
+        self.results.extend(ordered)
+        return ordered
+
     # -- reporting -------------------------------------------------------
+
+    def work_counters(self) -> Dict[str, int]:
+        """The per-point work tallies summed over this engine's jobs."""
+        return dict(self._work)
+
+    def cache_counters(self) -> Dict[str, int]:
+        """The session-cache counters, including parallel chains.
+
+        Sequentially executed jobs hit this engine's own caches;
+        chains executed by ``serve_workers > 1`` ran over chain-local
+        caches whose counters were merged back — this view sums both,
+        so hit/miss/eviction/persistence arithmetic holds across
+        scheduling modes.
+        """
+        counters = self.caches.counters()
+        return merge_counters(counters, [self._chain_counters])
+
+    def finish(self) -> None:
+        """Attach the end-of-session cache stats to the trace (idempotent).
+
+        Called by the CLI before closing the tracer so ``--profile``
+        shows the ``serve.*`` counters — hits/misses, evictions,
+        ``serve.cache_bytes`` and the persistent-tier tallies — next
+        to the per-phase times.
+        """
+        if self._finished or self.tracer is None:
+            return
+        self._finished = True
+        with self.tracer.span("session_caches") as span:
+            span.counters.absorb(counters_to_stats(self.cache_counters()))
 
     def summary(self) -> dict:
         """Machine-readable session summary (plan-dependent numbers).
 
-        Jobs/sec over in-engine job wall-time, the session-cache
-        hit/miss counters with derived rates, the library build-memo
-        counters, and the per-job timing list.  Everything here may
-        legitimately vary run to run; the deterministic payload is the
-        result lines themselves.
+        Jobs/sec over the engine's run wall-time, the session-cache
+        hit/miss/eviction counters with derived rates, the persistent
+        disk-tier counters, the library build-memo counters, and the
+        per-job timing list.  Everything here may legitimately vary
+        run to run; the deterministic payload is the result lines
+        themselves.
         """
-        cache = self.caches.counters()
+        cache = self.cache_counters()
         cache.update(self._work)
         lib = library_build_stats()
         cache["library_build_hits"] = int(lib["library.build_hits"])
@@ -191,12 +332,16 @@ class ServeEngine:
             total = hits + cache[f"{family}_misses"]
             rates[family] = (hits / total) if total else 0.0
         n = len(self.results)
+        t_rate = self._t_run if self._t_run > 0 else self._t_wall
         return {
             "jobs": n,
             "ok": sum(1 for r in self.results if r.ok),
             "workers": self.workers,
+            "serve_workers": self.serve_workers,
+            "pool_fallbacks": self._pool_fallbacks,
             "t_jobs_s": self._t_wall,
-            "jobs_per_sec": (n / self._t_wall) if self._t_wall > 0 else 0.0,
+            "t_run_s": self._t_run,
+            "jobs_per_sec": (n / t_rate) if t_rate > 0 else 0.0,
             "cache": cache,
             "cache_hit_rates": rates,
             "per_job": list(self._t_jobs),

@@ -70,7 +70,7 @@ class TestFallbackObservability:
         if not pool_available():
             pytest.skip("no process pool on this platform")
 
-        def induced_failure(fn, payload, tasks, nproc):
+        def induced_failure(fn, payload, tasks, nproc, deliver):
             raise RuntimeError("induced pool failure")
 
         monkeypatch.setattr(pool_mod, "_fan_out_pool", induced_failure)

@@ -1,0 +1,131 @@
+"""Executable documentation checks.
+
+Two guarantees keep the docs site honest:
+
+1. Every fenced ``jsonl`` / ``jsonl-invalid`` / ``jsonl-result`` block
+   in ``docs/`` runs through the real serve parser — valid examples
+   must validate, invalid examples must be rejected, result examples
+   must carry exactly the documented fields.
+2. Every relative markdown link (and intra-repo anchor) in ``docs/``,
+   ``README.md`` and ``DESIGN.md`` resolves to a real file / heading.
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.serve import JobError, parse_jobs
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+#: Files whose links must resolve.
+LINKED_PAGES = [os.path.join(REPO_ROOT, "README.md"),
+                os.path.join(REPO_ROOT, "DESIGN.md")] + sorted(
+    os.path.join(DOCS_DIR, name)
+    for name in (os.listdir(DOCS_DIR) if os.path.isdir(DOCS_DIR) else [])
+    if name.endswith(".md"))
+
+_FENCE = re.compile(r"^```(\S+)\n(.*?)^```", re.MULTILINE | re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*$", re.MULTILINE)
+
+#: Exactly the JobResult.to_dict() keys (error only on failure).
+RESULT_REQUIRED = {"id", "cmd", "source", "ok", "verdict", "chosen_k",
+                   "rows"}
+RESULT_OPTIONAL = {"error"}
+
+
+def _blocks(path, language):
+    with open(path) as handle:
+        text = handle.read()
+    return [body for lang, body in _FENCE.findall(text)
+            if lang == language]
+
+
+def _doc_paths():
+    if not os.path.isdir(DOCS_DIR):
+        return []
+    return sorted(os.path.join(DOCS_DIR, name)
+                  for name in os.listdir(DOCS_DIR)
+                  if name.endswith(".md"))
+
+
+def _github_slug(heading):
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop the rest."""
+    slug = heading.strip().lower().replace(" ", "-")
+    return re.sub(r"[^a-z0-9_-]", "", slug)
+
+
+class TestJobExamples:
+    def test_docs_exist(self):
+        assert _doc_paths(), "docs/ has no markdown pages"
+
+    @pytest.mark.parametrize("path", _doc_paths(),
+                             ids=[os.path.basename(p)
+                                  for p in _doc_paths()])
+    def test_valid_examples_parse(self, path):
+        for block in _blocks(path, "jsonl"):
+            jobs = parse_jobs(block.splitlines())
+            assert jobs, f"empty jsonl example in {path}"
+
+    def test_schema_page_has_examples(self):
+        page = os.path.join(DOCS_DIR, "jobs-schema.md")
+        assert _blocks(page, "jsonl")
+        assert _blocks(page, "jsonl-invalid")
+        assert _blocks(page, "jsonl-result")
+
+    @pytest.mark.parametrize("path", _doc_paths(),
+                             ids=[os.path.basename(p)
+                                  for p in _doc_paths()])
+    def test_invalid_examples_are_rejected(self, path):
+        for block in _blocks(path, "jsonl-invalid"):
+            with pytest.raises(JobError):
+                parse_jobs(block.splitlines())
+
+    @pytest.mark.parametrize("path", _doc_paths(),
+                             ids=[os.path.basename(p)
+                                  for p in _doc_paths()])
+    def test_result_examples_match_schema(self, path):
+        for block in _blocks(path, "jsonl-result"):
+            for line in block.strip().splitlines():
+                data = json.loads(line)
+                assert RESULT_REQUIRED <= set(data), \
+                    f"missing {RESULT_REQUIRED - set(data)}: {line}"
+                assert not set(data) - RESULT_REQUIRED - RESULT_OPTIONAL
+                assert isinstance(data["ok"], bool)
+                assert data["chosen_k"] is None or \
+                    isinstance(data["chosen_k"], (int, float))
+                for row in data["rows"]:
+                    assert len(row) == 5
+                # The byte-stability contract: sorted keys.
+                assert line == json.dumps(data, sort_keys=True)
+
+
+class TestLinks:
+    @pytest.mark.parametrize("path", LINKED_PAGES,
+                             ids=[os.path.relpath(p, REPO_ROOT)
+                                  for p in LINKED_PAGES])
+    def test_relative_links_resolve(self, path):
+        with open(path) as handle:
+            text = handle.read()
+        # Links inside fenced code are not navigation.
+        text = _FENCE.sub("", text)
+        broken = []
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            dest, _, anchor = target.partition("#")
+            dest_path = os.path.normpath(os.path.join(
+                os.path.dirname(path), dest)) if dest else path
+            if not os.path.exists(dest_path):
+                broken.append(target)
+                continue
+            if anchor and dest_path.endswith(".md"):
+                with open(dest_path) as handle:
+                    headings = _HEADING.findall(handle.read())
+                if anchor not in {_github_slug(h) for h in headings}:
+                    broken.append(target)
+        assert not broken, f"broken links in {path}: {broken}"
