@@ -9,6 +9,7 @@ common envelope::
       "bench": "<name>",              # BENCH_<name>.json
       "generated_unix": 1754650000.0, # time.time() at write
       "generated_at": "2026-08-08T12:00:00Z",
+      "git": "8badb7f",                # short SHA ("unknown" outside git)
       "host": {"python": "3.11.9", "platform": "Linux-...", "cpus": 1},
       ...bench-specific payload keys...
     }
@@ -23,13 +24,15 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from typing import Any, Dict
 
 from conftest import RESULTS_DIR
 
-__all__ = ["SCHEMA_VERSION", "bench_envelope", "write_bench_json"]
+__all__ = ["SCHEMA_VERSION", "bench_envelope", "git_revision",
+           "write_bench_json"]
 
 #: Bump when an envelope field is renamed or removed (additions are free).
 SCHEMA_VERSION = 1
@@ -44,6 +47,23 @@ def _host_info() -> Dict[str, Any]:
     }
 
 
+def git_revision() -> str:
+    """The repo's short commit SHA; ``"unknown"`` outside a checkout.
+
+    Lets ``repro benchreport`` trend tables attribute an envelope to
+    the commit that produced it.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
 def bench_envelope(name: str) -> Dict[str, Any]:
     """The common envelope fields for bench ``name``."""
     now = time.time()
@@ -53,6 +73,7 @@ def bench_envelope(name: str) -> Dict[str, Any]:
         "generated_unix": now,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                       time.gmtime(now)),
+        "git": git_revision(),
         "host": _host_info(),
     }
 

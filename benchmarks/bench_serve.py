@@ -24,6 +24,12 @@ deliver the parallel jobs/sec floor over ``--serve-workers 1`` on
 hosts with cores to spare (see :func:`_parallel_floor` — a single-core
 host can only check the scheduler costs nothing).
 
+ISSUE 10 adds the telemetry leg: the same stream with ``--status-file``
+/ ``--metrics-out`` / ``--slow-job-s`` armed must emit byte-identical
+rows, leave a final heartbeat whose tallies match the run, render a
+Prometheus exposition that round-trips through our parser, and cost
+at most 2x the plain leg.
+
 Smoke mode (``REPRO_BENCH_SMOKE=1``): 12 jobs, 1.5x serve floor and a
 relaxed 1.1x parallel floor (CI containers time poorly); full mode:
 100 jobs, 3x serve floor, 1.5x parallel floor.  Results go to
@@ -93,7 +99,7 @@ def _cli_env():
 
 
 def _run_serve(jobs_path, out_path, workers, summary_path="",
-               serve_workers=1, cache_dir=""):
+               serve_workers=1, cache_dir="", extra_args=()):
     """One ``repro serve`` subprocess over a job file; returns wall (s)."""
     argv = [sys.executable, "-m", "repro.cli", "serve", jobs_path,
             "-o", out_path, "--workers", str(workers),
@@ -102,6 +108,7 @@ def _run_serve(jobs_path, out_path, workers, summary_path="",
         argv += ["--cache-dir", cache_dir]
     if summary_path:
         argv += ["--summary", summary_path]
+    argv += list(extra_args)
     t0 = time.perf_counter()
     proc = subprocess.run(argv, env=_cli_env(), capture_output=True,
                           text=True)
@@ -255,6 +262,81 @@ def run_parallel_bench(tmpdir):
     return result
 
 
+def run_telemetry_bench(tmpdir):
+    """The live-telemetry leg: status heartbeats + metrics exposition.
+
+    The same stream runs plain and with every observability flag armed
+    (``--status-file``, ``--metrics-out``, ``--slow-job-s`` with a
+    sub-microsecond deadline so the watchdog fires on every job).  The
+    instrumented leg must emit byte-identical result rows, leave a
+    final heartbeat whose tallies match the run, and render a
+    Prometheus exposition that round-trips through our parser.
+    """
+    if "telemetry" in _cache:
+        return _cache["telemetry"]
+    jobs = _make_jobs(N_JOBS)
+    stream_path = os.path.join(tmpdir, "jobs.jsonl")
+    with open(stream_path, "w") as fh:
+        for job in jobs:
+            fh.write(json.dumps(job) + "\n")
+
+    plain_out = os.path.join(tmpdir, "telemetry_plain.out")
+    obs_out = os.path.join(tmpdir, "telemetry_obs.out")
+    status_path = os.path.join(tmpdir, "status.json")
+    metrics_path = os.path.join(tmpdir, "metrics.prom")
+    t_plain = _run_serve(stream_path, plain_out, workers=1,
+                         serve_workers=2)
+    t_obs = _run_serve(stream_path, obs_out, workers=1, serve_workers=2,
+                       extra_args=["--status-file", status_path,
+                                   "--metrics-out", metrics_path,
+                                   "--slow-job-s", "0.000001"])
+
+    with open(plain_out) as fh:
+        plain_lines = fh.read().splitlines()
+    with open(obs_out) as fh:
+        obs_lines = fh.read().splitlines()
+    assert len(plain_lines) == N_JOBS
+    assert obs_lines == plain_lines, \
+        "telemetry flags changed the result rows"
+
+    # Final heartbeat: terminal state with tallies matching the run.
+    with open(status_path) as fh:
+        heartbeat = json.load(fh)
+    assert heartbeat["state"] == "done"
+    assert heartbeat["jobs_done"] == heartbeat["ok"] == N_JOBS
+    assert heartbeat["failed"] == 0
+    assert heartbeat["slow_jobs"] == N_JOBS  # the deadline always fires
+    assert heartbeat["serve_workers"] == 2
+
+    # Metrics exposition: the text form round-trips and agrees with the
+    # JSON sibling on the job count.
+    from repro.obs import parse_prometheus
+    with open(metrics_path) as fh:
+        families = parse_prometheus(fh.read())
+    assert families["repro_serve_jobs_done"]["samples"][
+        "repro_serve_jobs_done"] == N_JOBS
+    job_hist = families["repro_serve_job_seconds"]
+    assert job_hist["type"] == "histogram"
+    assert job_hist["samples"]["repro_serve_job_seconds_count"] == N_JOBS
+    with open(metrics_path + ".json") as fh:
+        metrics_doc = json.load(fh)
+    assert metrics_doc["counters"]["serve.jobs_done"] == N_JOBS
+    assert metrics_doc["instruments"]["serve.job_seconds"]["sum"] > 0
+
+    result = {
+        "t_plain_s": t_plain,
+        "t_telemetry_s": t_obs,
+        "telemetry_overhead": t_obs / max(t_plain, 1e-9),
+        "identical_rows": True,
+        "heartbeat_jobs_done": heartbeat["jobs_done"],
+        "slow_jobs": heartbeat["slow_jobs"],
+        "prometheus_families": len(families),
+        "instruments": sorted(metrics_doc["instruments"]),
+    }
+    _cache["telemetry"] = result
+    return result
+
+
 def _write_payload():
     """Emit everything measured so far into ``BENCH_serve.json``.
 
@@ -270,6 +352,8 @@ def _write_payload():
     payload.update(_cache.get("result", {}))
     if "parallel" in _cache:
         payload["parallel"] = _cache["parallel"]
+    if "telemetry" in _cache:
+        payload["telemetry"] = _cache["telemetry"]
     write_bench_json("serve", payload)
 
 
@@ -302,6 +386,33 @@ def test_serve_throughput(benchmark, tmp_path):
     assert r["speedup"] >= SPEEDUP_FLOOR, \
         (f"serve only {r['speedup']:.2f}x over one-shot "
          f"({r['jobs']} jobs, floor {SPEEDUP_FLOOR:.1f}x)")
+
+
+def test_serve_telemetry(benchmark, tmp_path):
+    """Observability leg: telemetry flags cost little and change nothing."""
+    r = benchmark.pedantic(run_telemetry_bench, args=(str(tmp_path),),
+                           rounds=1, iterations=1)
+    table = format_table(
+        ["mode", "jobs", "wall (s)", "overhead"],
+        [("serve --serve-workers 2 (plain)", N_JOBS,
+          f"{r['t_plain_s']:.1f}", "1.00x"),
+         ("  + status/metrics/slow-job telemetry", N_JOBS,
+          f"{r['t_telemetry_s']:.1f}",
+          f"{r['telemetry_overhead']:.2f}x")],
+        title=("Live telemetry - heartbeat + Prometheus exposition "
+               f"({'smoke' if SMOKE else 'full'} mode, rows "
+               f"byte-identical; {r['slow_jobs']} slow-job events, "
+               f"{r['prometheus_families']} metric families)"))
+    publish("serve_telemetry", table)
+    _write_payload()
+
+    assert r["identical_rows"]
+    assert r["heartbeat_jobs_done"] == N_JOBS
+    # The whole observability surface must stay out of the hot path:
+    # generous 2x bound (absolute cost is one JSON write per heartbeat).
+    assert r["telemetry_overhead"] <= 2.0, \
+        (f"telemetry flags cost {r['telemetry_overhead']:.2f}x "
+         f"(bound 2.0x)")
 
 
 def test_serve_parallel_throughput(benchmark, tmp_path):

@@ -15,7 +15,18 @@ streamed back as JSONL in submission order; ``--serve-workers N`` runs
 independent (netlist, die) affinity chains concurrently, ``--cache-dir``
 persists layouts/route pools across restarts, and
 ``--cache-max-entries``/``--cache-max-mb`` bound the session caches
-(full reference: ``docs/serve.md``),
+(full reference: ``docs/serve.md``).  Live telemetry rides on the side:
+``--status-file`` writes an atomic heartbeat JSON (throttled by
+``--status-every-jobs``/``--status-every-s``), ``--metrics-out`` renders
+the counters and histograms as Prometheus text (+ a ``.json`` sibling)
+at every heartbeat and at end of run, and ``--slow-job-s`` arms the
+soft per-job deadline watchdog (``docs/observability.md``),
+``follow``  — long-poll a growing results JSONL or an atomically
+replaced status file, printing each new line; exits on the stream's
+end marker, a ``--count``, or a ``--timeout``,
+``benchreport`` — compare ``BENCH_*.json`` envelopes against a baseline
+directory with per-bench noise floors; writes a Markdown trend table
+and exits non-zero on regression,
 ``sta``     — map, place, route and time a circuit; print the critical path.
 
 ``flow``, ``ksweep``, ``ksearch`` and ``serve`` share one execution-flag
@@ -51,9 +62,23 @@ from .core import (
 from .io import dump_blif, dump_verilog, k_sweep_table, parse_blif
 from .library import CORELIB018
 from .network import decompose
-from .obs import Tracer, profile_report, write_congestion_artifacts
+from .obs import (
+    Tracer,
+    profile_report,
+    render_metrics_json,
+    render_prometheus,
+    write_congestion_artifacts,
+)
 from .place import Floorplan, place_base_network
-from .serve import CacheBounds, JobError, ServeEngine, parse_jobs
+from .serve import (
+    CacheBounds,
+    JobError,
+    ServeEngine,
+    StatusWriter,
+    follow,
+    parse_jobs,
+    write_atomic_text,
+)
 from .synth import optimize
 
 
@@ -233,10 +258,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_entries=args.cache_max_entries,
         max_bytes=int(args.cache_max_mb * 1024 * 1024)) \
         if (args.cache_max_entries or args.cache_max_mb) else None
+    status = StatusWriter(args.status_file,
+                          every_jobs=args.status_every_jobs,
+                          every_s=args.status_every_s) \
+        if args.status_file else None
     engine = ServeEngine(_flow_config(args), workers=args.workers,
                          tracer=tracer, artifacts_dir=artifacts_dir,
                          serve_workers=args.serve_workers,
-                         bounds=bounds, cache_dir=args.cache_dir)
+                         bounds=bounds, cache_dir=args.cache_dir,
+                         status=status, slow_job_s=args.slow_job_s)
+
+    def write_metrics(_document=None) -> None:
+        stats = engine.metrics_stats()
+        write_atomic_text(args.metrics_out,
+                          render_prometheus(stats, engine.metrics))
+        write_atomic_text(
+            args.metrics_out + ".json",
+            render_metrics_json(stats, engine.metrics,
+                                {"command": "serve", "jobs": args.jobs}))
+
+    if args.metrics_out and status is not None:
+        status.on_write = write_metrics
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         engine.run(jobs, on_result=lambda result: (
@@ -245,6 +287,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.output:
             out.close()
     engine.finish()
+    if args.metrics_out:
+        write_metrics()
     summary = engine.summary()
     if args.summary:
         with open(args.summary, "w") as handle:
@@ -264,6 +308,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"layout {rates['layout']:.0%}, "
           f"route pool {rates['route_pool']:.0%})", file=sys.stderr)
     return 0 if summary["ok"] == summary["jobs"] else 1
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    delivered, reason = follow(
+        args.file,
+        on_line=lambda line: (print(line), sys.stdout.flush()),
+        timeout_s=args.timeout, poll_s=args.poll, count=args.count)
+    print(f"follow: {delivered} lines ({reason})", file=sys.stderr)
+    return 0 if reason in ("end", "count") else 1
+
+
+def _cmd_benchreport(args: argparse.Namespace) -> int:
+    from .tools.benchreport import run_benchreport
+    return run_benchreport(results_dir=args.results,
+                           baselines_dir=args.baselines,
+                           out_path=args.out)
 
 
 def _cmd_sta(args: argparse.Namespace) -> int:
@@ -427,8 +487,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-max-mb", type=float, default=0.0,
                          help="LRU bound on the estimated total cache "
                               "footprint in MiB (0 = unbounded)")
+    p_serve.add_argument("--status-file", metavar="FILE", default="",
+                         help="write an atomic live-status heartbeat JSON "
+                              "here (schema: docs/observability.md); "
+                              "follow it with 'repro follow FILE'")
+    p_serve.add_argument("--status-every-jobs", type=int, default=1,
+                         metavar="N",
+                         help="write a heartbeat at most every N finished "
+                              "jobs (default 1)")
+    p_serve.add_argument("--status-every-s", type=float, default=0.0,
+                         metavar="S",
+                         help="also write a heartbeat when S seconds "
+                              "passed since the last one (0 = off)")
+    p_serve.add_argument("--metrics-out", metavar="FILE", default="",
+                         help="render counters + histograms as Prometheus "
+                              "text here (plus FILE.json) at every "
+                              "heartbeat and at end of run")
+    p_serve.add_argument("--slow-job-s", type=float, default=0.0,
+                         metavar="S",
+                         help="soft per-job deadline: jobs slower than S "
+                              "count into serve.slow_jobs and trace a "
+                              "slow_job event (0 = off)")
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_follow = sub.add_parser(
+        "follow",
+        help="long-poll a results JSONL or status file, print new lines")
+    p_follow.add_argument("file", help="results JSONL stream or "
+                                       "--status-file heartbeat to follow")
+    p_follow.add_argument("--timeout", type=float, default=30.0,
+                          metavar="S",
+                          help="give up after S seconds without a new "
+                               "line (default 30)")
+    p_follow.add_argument("--poll", type=float, default=0.2, metavar="S",
+                          help="poll interval in seconds (default 0.2)")
+    p_follow.add_argument("--count", type=int, default=0, metavar="N",
+                          help="stop after N lines (0 = until end marker "
+                               "or timeout)")
+    p_follow.set_defaults(func=_cmd_follow)
+
+    p_bench = sub.add_parser(
+        "benchreport",
+        help="compare BENCH_*.json envelopes against baselines; "
+             "exit non-zero on regression")
+    p_bench.add_argument("--results", default="benchmarks/results",
+                         metavar="DIR",
+                         help="directory of fresh BENCH_*.json envelopes")
+    p_bench.add_argument("--baselines", default="benchmarks/baselines",
+                         metavar="DIR",
+                         help="directory of baseline BENCH_*.json envelopes")
+    p_bench.add_argument("--out", default="", metavar="FILE",
+                         help="write the Markdown trend table here "
+                              "(default: <results>/BENCHREPORT.md)")
+    p_bench.set_defaults(func=_cmd_benchreport)
 
     p_sta = sub.add_parser("sta", help="map + place + route + timing report")
     p_sta.add_argument("source")

@@ -13,12 +13,12 @@ through:
   heatmaps (CSV + ASCII).
 """
 
-from .artifacts import (
-    congestion_map_csv,
-    congestion_map_text,
-    write_congestion_artifacts,
-)
-from .profile import merged_counters, phase_breakdown, profile_report
+# Import order matters: registry/tracer/metrics are leaf modules, while
+# artifacts/profile reach back through repro.io -> repro.place ->
+# repro.library, whose cache module imports StatsRegistry from here.
+# Loading the leaves first means that even when this package is the
+# *entry point* of that cycle, the partially initialized module already
+# exposes the names the cycle needs.
 from .registry import (
     COUNT,
     ENV,
@@ -32,13 +32,38 @@ from .registry import (
     WORK,
 )
 from .tracer import Span, TraceError, Tracer
+from .metrics import (
+    BYTE_BUCKETS,
+    HIST,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    ROLLING,
+    RollingGauge,
+    parse_prometheus,
+    render_metrics_json,
+    render_prometheus,
+)
+from .artifacts import (
+    congestion_map_csv,
+    congestion_map_text,
+    write_congestion_artifacts,
+)
+from .profile import merged_counters, phase_breakdown, profile_report
 
 __all__ = [
+    "BYTE_BUCKETS",
     "COUNT",
     "ENV",
     "GAUGE",
+    "HIST",
+    "Histogram",
     "KINDS",
+    "LATENCY_BUCKETS",
     "METRIC",
+    "MetricsRegistry",
+    "ROLLING",
+    "RollingGauge",
     "Span",
     "StatEntry",
     "StatsCollisionError",
@@ -50,7 +75,10 @@ __all__ = [
     "congestion_map_csv",
     "congestion_map_text",
     "merged_counters",
+    "parse_prometheus",
     "phase_breakdown",
     "profile_report",
+    "render_metrics_json",
+    "render_prometheus",
     "write_congestion_artifacts",
 ]

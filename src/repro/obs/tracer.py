@@ -140,6 +140,12 @@ class Tracer:
     """Builds one span tree; the stack tracks the open span."""
 
     def __init__(self, name: str = "run", **attrs: Any):  # noqa: D107
+        #: Wall-clock anchor: the Unix time at which the root span's
+        #: ``perf_counter`` clock read :attr:`Span.t_start`.  Adopted
+        #: worker spans keep their own clock base, so this is what lets
+        #: multi-process serve traces be lined up on one timeline
+        #: (``unix time of x ~= t_unix_start + (x - root.t_start)``).
+        self.t_unix_start = time.time()
         self.root = Span(name=name, attrs=dict(attrs),
                          t_start=time.perf_counter())
         self._stack: List[Span] = [self.root]
@@ -178,7 +184,8 @@ class Tracer:
     def events(self) -> Iterator[Dict[str, Any]]:
         """The ``meta`` line plus every span event, depth-first."""
         yield {"event": "meta", "version": 1, "root": self.root.name,
-               "clock": "perf_counter"}
+               "clock": "perf_counter",
+               "t_unix_start": self.t_unix_start}
         yield from self.root.events()
 
     def write_jsonl(self, target: Union[str, IO[str]]) -> int:

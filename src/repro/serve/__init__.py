@@ -14,9 +14,13 @@ package turns the same flow entry points into a cache-warm service:
   that run independent jobs concurrently (``--serve-workers``) while
   keeping the output stream byte-identical to a sequential run;
 * :class:`ServeEngine` — the batch executor tying them together, whose
-  per-job stages fan out over the :mod:`repro.exec` pool.
+  per-job stages fan out over the :mod:`repro.exec` pool;
+* :mod:`~repro.serve.status` — live telemetry: atomic heartbeat files
+  (:class:`StatusWriter`, ``--status-file``) and the :func:`follow`
+  long-poll behind ``repro follow``.
 
-Architecture notes live in ``docs/serve.md``.
+Architecture notes live in ``docs/serve.md``; the telemetry pipeline
+in ``docs/observability.md``.
 """
 
 from .caches import CacheBounds, SessionCaches, die_key, source_key
@@ -24,6 +28,14 @@ from .engine import ServeEngine
 from .jobs import JOB_COMMANDS, Job, JobError, JobResult, parse_job, parse_jobs
 from .persist import PersistentCache, cache_fingerprint
 from .scheduler import affinity_key, plan_chains
+from .status import (
+    STATUS_SCHEMA_VERSION,
+    StatusWriter,
+    follow,
+    is_end_marker,
+    write_atomic_json,
+    write_atomic_text,
+)
 
 __all__ = [
     "JOB_COMMANDS",
@@ -32,13 +44,19 @@ __all__ = [
     "JobError",
     "JobResult",
     "PersistentCache",
+    "STATUS_SCHEMA_VERSION",
     "ServeEngine",
     "SessionCaches",
+    "StatusWriter",
     "affinity_key",
     "cache_fingerprint",
     "die_key",
+    "follow",
+    "is_end_marker",
     "parse_job",
     "parse_jobs",
     "plan_chains",
     "source_key",
+    "write_atomic_json",
+    "write_atomic_text",
 ]

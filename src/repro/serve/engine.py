@@ -33,14 +33,30 @@ against it.  The execution model is deterministic by construction:
 A failing job (unknown benchmark, unroutable die, bad BLIF) reports
 ``ok: false`` with the error message and the stream continues — one
 poisoned request must not take down a batch of hundreds.
+
+Live telemetry
+--------------
+The engine additionally streams **metrics** while it runs: per-job
+latency, queue wait and per-phase (map / place / route / covering DP)
+times land in fixed-bucket histograms, the estimated cache footprint
+in a rolling gauge (one :class:`~repro.obs.metrics.MetricsRegistry`
+per engine, chain registries merged back in chain order), and a
+**slow-job watchdog** counts jobs that blow a soft per-job deadline
+(``slow_job_s``) into ``serve.slow_jobs`` with a ``slow_job`` trace
+event — the observability groundwork for admission control.  A
+:class:`~repro.serve.status.StatusWriter` (``--status-file``) gets an
+atomic heartbeat after every job and chain outcome.  None of this can
+change a result byte: telemetry is written on the side, never read
+back by the flow.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import re
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..core import (
     FlowConfig,
@@ -52,7 +68,12 @@ from ..core import (
 from ..errors import ReproError
 from ..exec import fan_out
 from ..library import library_build_stats
-from ..obs import Tracer, write_congestion_artifacts
+from ..obs import (
+    MetricsRegistry,
+    StatsRegistry,
+    Tracer,
+    write_congestion_artifacts,
+)
 from ..place import Floorplan
 from .caches import (
     CacheBounds,
@@ -63,6 +84,7 @@ from .caches import (
 from .jobs import Job, JobResult
 from .persist import PersistentCache, cache_fingerprint
 from .scheduler import plan_chains, run_chain
+from .status import STATUS_SCHEMA_VERSION, StatusWriter
 
 __all__ = ["ServeEngine"]
 
@@ -70,6 +92,13 @@ __all__ = ["ServeEngine"]
 #: engine-level cache/work tallies (all plan-dependent by design).
 _POINT_WORK_KEYS = ("route.routes_reused", "route.reuse_skipped",
                     "cover.memo_hits", "map.match_cache_hits")
+
+#: (histogram key, per-point stats key) — the per-phase wall-times
+#: summed over a job's evaluated points into latency histograms.
+_PHASE_HISTOGRAMS = (("serve.map_seconds", "map.t_total"),
+                     ("serve.place_seconds", "eval.t_place"),
+                     ("serve.route_seconds", "eval.t_route"),
+                     ("serve.cover_seconds", "cover.t_dp"))
 
 
 def _artifact_slug(job_id: str) -> str:
@@ -85,6 +114,10 @@ class ServeEngine:
     compose).  ``bounds`` caps the session caches, ``cache_dir``
     attaches the persistent disk tier; both default to off.  An
     explicitly injected ``caches`` wins over ``bounds``/``cache_dir``.
+
+    ``status`` attaches a heartbeat writer, ``slow_job_s`` arms the
+    soft per-job deadline watchdog (0 = off); neither affects result
+    lines.
     """
 
     def __init__(self, config: FlowConfig, workers: int = 1,
@@ -93,7 +126,9 @@ class ServeEngine:
                  caches: Optional[SessionCaches] = None,
                  serve_workers: int = 1,
                  bounds: Optional[CacheBounds] = None,
-                 cache_dir: str = ""):  # noqa: D107
+                 cache_dir: str = "",
+                 status: Optional[StatusWriter] = None,
+                 slow_job_s: float = 0.0):  # noqa: D107
         self.config = config
         self.workers = max(1, workers)
         self.serve_workers = max(1, serve_workers)
@@ -101,6 +136,8 @@ class ServeEngine:
         self.artifacts_dir = artifacts_dir
         self.bounds = bounds
         self.cache_dir = cache_dir
+        self.status = status
+        self.slow_job_s = max(0.0, slow_job_s)
         if caches is not None:
             self.caches = caches
         else:
@@ -110,11 +147,15 @@ class ServeEngine:
             self.caches = SessionCaches(config.library, bounds=bounds,
                                         persist=persist)
         self.results: List[JobResult] = []
+        self.metrics = MetricsRegistry()
+        self.slow_jobs = 0
         self._t_jobs: List[dict] = []
         self._work = {key: 0 for key in _POINT_WORK_KEYS}
         self._chain_counters: Dict[str, int] = {}
         self._t_wall = 0.0
         self._t_run = 0.0
+        self._t_accept: Optional[float] = None
+        self._jobs_total = 0
         self._pool_fallbacks = 0
         self._finished = False
 
@@ -123,6 +164,8 @@ class ServeEngine:
     def run_job(self, job: Job) -> JobResult:
         """Execute one job against the session caches (sequential path)."""
         t0 = time.perf_counter()
+        if self._t_accept is None:
+            self._t_accept = t0
         span_cm = (self.tracer.span("job", id=job.id, cmd=job.cmd,
                                     source=job.source)
                    if self.tracer is not None else None)
@@ -144,7 +187,6 @@ class ServeEngine:
             for key in _POINT_WORK_KEYS:
                 self._work[key] += int(point.stats.get(key, 0))
         if self.artifacts_dir and points:
-            import os
             write_congestion_artifacts(
                 points,
                 os.path.join(self.artifacts_dir, _artifact_slug(job.id)))
@@ -152,7 +194,30 @@ class ServeEngine:
                              "t_s": t_job})
         self._t_wall += t_job
         self.results.append(result)
+        self._observe_job(job, points, t_job, queue_wait=t0 - self._t_accept)
+        if self.status is not None:
+            self.status.update(self.heartbeat())
         return result
+
+    def _observe_job(self, job: Job, points: List[Any], t_job: float,
+                     queue_wait: float) -> None:
+        """Feed one finished job into the streaming instruments."""
+        self.metrics.observe("serve.job_seconds", t_job)
+        self.metrics.observe("serve.queue_wait_seconds", max(0.0,
+                                                             queue_wait))
+        for key, stat in _PHASE_HISTOGRAMS:
+            seconds = sum(float(p.stats.get(stat, 0.0)) for p in points)
+            if points:
+                self.metrics.observe(key, seconds)
+        self.metrics.record("serve.cache_bytes_recent",
+                            float(self.caches.cache_bytes()))
+        if self.slow_job_s and t_job > self.slow_job_s:
+            self.slow_jobs += 1
+            if self.tracer is not None:
+                with self.tracer.span("slow_job", id=job.id,
+                                      deadline_s=self.slow_job_s,
+                                      t_s=round(t_job, 6)):
+                    pass
 
     def _dispatch(self, job: Job):
         """Run the job's entry point; returns (result, evaluated points)."""
@@ -211,6 +276,9 @@ class ServeEngine:
         """
         jobs = list(jobs)
         t0 = time.perf_counter()
+        if self._t_accept is None:
+            self._t_accept = t0
+        self._jobs_total += len(jobs)
         if self.serve_workers > 1 and len(jobs) > 1:
             out = self._run_parallel(jobs, on_result)
         else:
@@ -221,6 +289,8 @@ class ServeEngine:
                 if on_result is not None:
                     on_result(result)
         self._t_run += time.perf_counter() - t0
+        if self.status is not None:
+            self.status.update(self.heartbeat(state="done"), force=True)
         return out
 
     def _run_parallel(self, jobs: List[Job],
@@ -233,11 +303,10 @@ class ServeEngine:
         until their submission index is next reproduces the sequential
         emission order exactly.
         """
-        from ..obs import StatsRegistry
-
         chains = plan_chains(jobs)
         payload = (self.config, self.workers, self.bounds, self.cache_dir,
-                   self.artifacts_dir, self.tracer is not None)
+                   self.artifacts_dir, self.tracer is not None,
+                   self.slow_job_s)
         tasks = [(index, tuple((i, jobs[i]) for i in chain))
                  for index, chain in enumerate(chains)]
 
@@ -245,14 +314,21 @@ class ServeEngine:
         ordered: List[JobResult] = []
         timings: List[dict] = []
         next_emit = 0
+        chains_done = 0
 
         def collect(outcome) -> None:
-            nonlocal next_emit
+            nonlocal next_emit, chains_done
+            chains_done += 1
             if self.tracer is not None:
                 self.tracer.adopt(outcome.span)
             merge_counters(self._chain_counters, [outcome.counters])
             for key, value in outcome.work.items():
                 self._work[key] = self._work.get(key, 0) + int(value)
+            # Chain outcomes arrive in chain-index order (ordered
+            # streaming), so this merge order is deterministic.
+            self.metrics.merge(MetricsRegistry.from_snapshot(
+                outcome.metrics))
+            self.slow_jobs += outcome.slow_jobs
             timings.extend(outcome.per_job)
             for index, result in outcome.results:
                 pending[index] = result
@@ -262,6 +338,12 @@ class ServeEngine:
                 if on_result is not None:
                     on_result(result)
                 next_emit += 1
+            if self.status is not None:
+                received = ordered + list(pending.values())
+                self.status.update(self.heartbeat(
+                    jobs_done=len(received),
+                    ok=sum(1 for r in received if r.ok),
+                    in_flight_chains=len(chains) - chains_done))
 
         exec_stats = StatsRegistry()
         fan_out(run_chain, payload, tasks, workers=self.serve_workers,
@@ -310,16 +392,8 @@ class ServeEngine:
         with self.tracer.span("session_caches") as span:
             span.counters.absorb(counters_to_stats(self.cache_counters()))
 
-    def summary(self) -> dict:
-        """Machine-readable session summary (plan-dependent numbers).
-
-        Jobs/sec over the engine's run wall-time, the session-cache
-        hit/miss/eviction counters with derived rates, the persistent
-        disk-tier counters, the library build-memo counters, and the
-        per-job timing list.  Everything here may legitimately vary
-        run to run; the deterministic payload is the result lines
-        themselves.
-        """
+    def _cache_view(self) -> tuple:
+        """(cache counters incl. work/library tallies, per-family rates)."""
         cache = self.cache_counters()
         cache.update(self._work)
         lib = library_build_stats()
@@ -331,6 +405,71 @@ class ServeEngine:
             hits = cache[f"{family}_hits"]
             total = hits + cache[f"{family}_misses"]
             rates[family] = (hits / total) if total else 0.0
+        return cache, rates
+
+    def heartbeat(self, state: str = "running",
+                  jobs_done: Optional[int] = None,
+                  ok: Optional[int] = None,
+                  in_flight_chains: int = 0) -> dict:
+        """One live-status document (see :mod:`repro.serve.status`).
+
+        Defaults report the jobs already appended to :attr:`results`;
+        the parallel scheduler passes explicit tallies because chain
+        results buffer outside ``results`` until emission.
+        """
+        if jobs_done is None:
+            jobs_done = len(self.results)
+        if ok is None:
+            ok = sum(1 for r in self.results if r.ok)
+        cache, rates = self._cache_view()
+        last = self._t_jobs[-1] if self._t_jobs else None
+        return {
+            "schema_version": STATUS_SCHEMA_VERSION,
+            "event": "status",
+            "state": state,
+            "pid": os.getpid(),
+            "t_unix": time.time(),
+            "jobs_total": self._jobs_total,
+            "jobs_done": jobs_done,
+            "ok": ok,
+            "failed": jobs_done - ok,
+            "in_flight_chains": in_flight_chains,
+            "slow_jobs": self.slow_jobs,
+            "serve_workers": self.serve_workers,
+            "cache": cache,
+            "cache_hit_rates": rates,
+            "instruments": self.metrics.snapshot(),
+            "last_job": dict(last) if last else None,
+        }
+
+    def metrics_stats(self) -> StatsRegistry:
+        """The countable telemetry as one ``serve.*`` stats registry.
+
+        The session-cache counters (via :func:`counters_to_stats`)
+        plus the job tallies and the watchdog counter — the numeric
+        half of the ``--metrics-out`` export; the distribution half is
+        :attr:`metrics`.
+        """
+        registry = counters_to_stats(self.cache_counters())
+        registry.work("serve.jobs_done", len(self.results))
+        registry.work("serve.jobs_ok",
+                      sum(1 for r in self.results if r.ok))
+        registry.work("serve.slow_jobs", self.slow_jobs)
+        registry.env("serve.serve_workers", self.serve_workers)
+        registry.env("serve.workers", self.workers)
+        return registry
+
+    def summary(self) -> dict:
+        """Machine-readable session summary (plan-dependent numbers).
+
+        Jobs/sec over the engine's run wall-time, the session-cache
+        hit/miss/eviction counters with derived rates, the persistent
+        disk-tier counters, the library build-memo counters, and the
+        per-job timing list.  Everything here may legitimately vary
+        run to run; the deterministic payload is the result lines
+        themselves.
+        """
+        cache, rates = self._cache_view()
         n = len(self.results)
         t_rate = self._t_run if self._t_run > 0 else self._t_wall
         return {
@@ -339,6 +478,7 @@ class ServeEngine:
             "workers": self.workers,
             "serve_workers": self.serve_workers,
             "pool_fallbacks": self._pool_fallbacks,
+            "slow_jobs": self.slow_jobs,
             "t_jobs_s": self._t_wall,
             "t_run_s": self._t_run,
             "jobs_per_sec": (n / t_rate) if t_rate > 0 else 0.0,

@@ -86,12 +86,14 @@ class ChainOutcome:
     """What one executed chain sends back to the scheduling engine."""
 
     __slots__ = ("chain_index", "results", "counters", "per_job", "work",
-                 "span")
+                 "span", "metrics", "slow_jobs")
 
     def __init__(self, chain_index: int,
                  results: List[Tuple[int, JobResult]],
                  counters: Dict[str, int], per_job: List[dict],
-                 work: Dict[str, int], span: Optional[Span]):  # noqa: D107
+                 work: Dict[str, int], span: Optional[Span],
+                 metrics: Optional[Dict[str, Any]] = None,
+                 slow_jobs: int = 0):  # noqa: D107
         self.chain_index = chain_index
         #: (submission index, result) pairs, in chain (= submission) order.
         self.results = results
@@ -99,6 +101,9 @@ class ChainOutcome:
         self.per_job = per_job
         self.work = work
         self.span = span
+        #: ``MetricsRegistry.snapshot()`` of the chain's instruments.
+        self.metrics = metrics if metrics is not None else {}
+        self.slow_jobs = slow_jobs
 
 
 def run_chain(payload: Any, task: Tuple[int, Tuple[Tuple[int, Job], ...]]
@@ -106,21 +111,23 @@ def run_chain(payload: Any, task: Tuple[int, Tuple[Tuple[int, Job], ...]]
     """Execute one affinity chain in a worker process (the pool task fn).
 
     ``payload`` is the engine-constant tuple ``(config, workers,
-    bounds, cache_dir, artifacts_dir, want_trace)``; ``task`` carries
-    the chain index and its (submission index, job) pairs.  The chain
-    gets a private single-threaded engine over chain-local caches; its
-    trace (when the parent traces) comes back as a detached span for
-    :meth:`repro.obs.tracer.Tracer.adopt`.
+    bounds, cache_dir, artifacts_dir, want_trace, slow_job_s)``;
+    ``task`` carries the chain index and its (submission index, job)
+    pairs.  The chain gets a private single-threaded engine over
+    chain-local caches; its trace (when the parent traces) comes back
+    as a detached span for :meth:`repro.obs.tracer.Tracer.adopt`, its
+    instruments as a metrics snapshot the engine merges in chain order.
     """
     from .engine import ServeEngine
 
     chain_index, indexed_jobs = task
-    config, workers, bounds, cache_dir, artifacts_dir, want_trace = payload
+    (config, workers, bounds, cache_dir, artifacts_dir, want_trace,
+     slow_job_s) = payload
     tracer = Tracer("chain", index=chain_index, jobs=len(indexed_jobs)) \
         if want_trace else None
     engine = ServeEngine(config, workers=workers, tracer=tracer,
                          artifacts_dir=artifacts_dir, bounds=bounds,
-                         cache_dir=cache_dir)
+                         cache_dir=cache_dir, slow_job_s=slow_job_s)
     results = engine.run([job for _, job in indexed_jobs])
     span = tracer.close() if tracer is not None else None
     return ChainOutcome(
@@ -130,4 +137,6 @@ def run_chain(payload: Any, task: Tuple[int, Tuple[Tuple[int, Job], ...]]
         engine.caches.counters(),
         [dict(entry) for entry in engine.summary()["per_job"]],
         dict(engine.work_counters()),
-        span)
+        span,
+        metrics=engine.metrics.snapshot(),
+        slow_jobs=engine.slow_jobs)

@@ -1,0 +1,24 @@
+"""Repo-facing tools that are not part of the synthesis flow itself.
+
+Currently one member: :mod:`~repro.tools.benchreport`, the
+bench-regression reporter behind ``repro benchreport`` and the CI
+benchmark gate.
+"""
+
+from .benchreport import (
+    BenchComparison,
+    MetricResult,
+    compare_benches,
+    load_envelopes,
+    render_markdown,
+    run_benchreport,
+)
+
+__all__ = [
+    "BenchComparison",
+    "MetricResult",
+    "compare_benches",
+    "load_envelopes",
+    "render_markdown",
+    "run_benchreport",
+]

@@ -1,0 +1,368 @@
+"""Bench-regression reporter: compare ``BENCH_*.json`` against baselines.
+
+``benchmarks/bench_*.py`` runs drop machine-readable envelopes
+(``BENCH_<name>.json``, schema in ``benchmarks/bench_common.py``) into
+``benchmarks/results/``.  This module compares a directory of fresh
+envelopes against a checked-in **baseline** directory and answers one
+question per tracked metric: *did it regress beyond its noise floor?*
+
+Design points:
+
+* **Keyed on the envelope, not the filename.**  Envelopes pair by
+  their ``bench`` field; a ``schema_version`` mismatch is a hard
+  regression (the comparison itself is meaningless).
+* **Per-bench noise floors.**  Wall-clock-derived ratios (speedups,
+  jobs/sec) on a busy 1-CPU CI box are noisy, so they get generous
+  relative tolerances; deterministic values (row identity, evaluation
+  counts, chosen K) are compared **exactly** — those regressing means
+  the determinism contract broke, not that the machine was slow.
+* **Mode-aware.**  A ``mode`` mismatch (smoke vs full) skips the bench
+  instead of comparing apples to oranges; a bench present in the
+  baselines but *missing* from the results is a regression (the gate
+  must not pass because a bench silently stopped running).
+* **Markdown trend table** written next to the results (CI uploads it
+  as an artifact), process exit non-zero iff any metric regressed.
+
+The CLI front-end is ``repro benchreport``; CI wires it as a gate after
+the smoke benches (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["BenchComparison", "MetricResult", "compare_benches",
+           "load_envelopes", "render_markdown", "run_benchreport"]
+
+#: Statuses that make the gate fail.
+_FAILING = ("regressed", "missing", "schema")
+
+
+def _get(doc: Dict[str, Any], path: str) -> Optional[Any]:
+    """Dotted-path lookup (``parallel.parallel_speedup``); None if absent."""
+    node: Any = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def _row_mean(field: str) -> Callable[[Dict[str, Any]], Optional[float]]:
+    def extract(doc: Dict[str, Any]) -> Optional[float]:
+        rows = doc.get("rows") or []
+        vals = [float(r[field]) for r in rows if field in r]
+        return _mean(vals)
+    return extract
+
+
+def _row_sum(field: str) -> Callable[[Dict[str, Any]], Optional[float]]:
+    def extract(doc: Dict[str, Any]) -> Optional[float]:
+        rows = doc.get("rows") or []
+        vals = [float(r[field]) for r in rows if field in r]
+        return float(sum(vals)) if vals else None
+    return extract
+
+
+def _strategy_field(strategy: str, field: str
+                    ) -> Callable[[Dict[str, Any]], Optional[Any]]:
+    def extract(doc: Dict[str, Any]) -> Optional[Any]:
+        for row in doc.get("rows") or []:
+            if row.get("strategy") == strategy:
+                return row.get(field)
+        return None
+    return extract
+
+
+class _Spec:
+    """One tracked metric of one bench.
+
+    ``direction`` is ``"higher"`` (bigger is better), ``"lower"``
+    (smaller is better) or ``"exact"`` (any difference regresses —
+    reserved for values the determinism contract pins).  ``rel_tol``
+    is the noise floor for directional metrics: the current value may
+    fall short of (exceed) the baseline by up to ``baseline *
+    rel_tol + abs_tol`` before the metric counts as regressed.
+    """
+
+    __slots__ = ("name", "extract", "direction", "rel_tol", "abs_tol")
+
+    def __init__(self, name: str,
+                 extract: Callable[[Dict[str, Any]], Optional[Any]],
+                 direction: str = "exact", rel_tol: float = 0.0,
+                 abs_tol: float = 0.0):  # noqa: D107
+        assert direction in ("higher", "lower", "exact")
+        self.name = name
+        self.extract = extract
+        self.direction = direction
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+
+    def judge(self, base: Any, current: Any) -> str:
+        """'ok' | 'regressed' for one (baseline, current) value pair."""
+        if self.direction == "exact":
+            return "ok" if current == base else "regressed"
+        base_f, cur_f = float(base), float(current)
+        slack = abs(base_f) * self.rel_tol + self.abs_tol
+        if self.direction == "higher":
+            return "ok" if cur_f >= base_f - slack else "regressed"
+        return "ok" if cur_f <= base_f + slack else "regressed"
+
+
+#: The tracked metrics, per bench.  Wall-clock ratios get a 50%
+#: relative floor (1-CPU CI wall-times are that noisy); deterministic
+#: values are exact.
+_SPECS: Dict[str, List[_Spec]] = {
+    "placement": [
+        _Spec("speedup(mean)", _row_mean("speedup"),
+              direction="higher", rel_tol=0.5),
+        _Spec("rows", lambda d: len(d.get("rows") or [])),
+        _Spec("gates(sum)", _row_sum("gates")),
+    ],
+    "routing": [
+        _Spec("speedup(mean)", _row_mean("speedup"),
+              direction="higher", rel_tol=0.5),
+        _Spec("violations(sum)", _row_sum("violations")),
+        _Spec("nets(sum)", _row_sum("nets")),
+    ],
+    "ksearch": [
+        _Spec("identity.matches", lambda d: _get(d, "identity.matches")),
+        _Spec("grid.evaluations", _strategy_field("grid", "evaluations")),
+        _Spec("bisect.evaluations",
+              _strategy_field("bisect", "evaluations")),
+        _Spec("bisect.chosen_k", _strategy_field("bisect", "chosen_k")),
+        _Spec("portfolio.chosen_k",
+              _strategy_field("portfolio", "chosen_k")),
+    ],
+    "serve": [
+        _Spec("identical_rows", lambda d: d.get("identical_rows")),
+        _Spec("parallel.identical_rows",
+              lambda d: _get(d, "parallel.identical_rows")),
+        _Spec("speedup", lambda d: d.get("speedup"),
+              direction="higher", rel_tol=0.5),
+        _Spec("serve_jobs_per_sec", lambda d: d.get("serve_jobs_per_sec"),
+              direction="higher", rel_tol=0.5),
+        _Spec("parallel.pool_fallbacks",
+              lambda d: _get(d, "parallel.pool_fallbacks"),
+              direction="lower"),
+    ],
+}
+
+
+class MetricResult:
+    """One metric's comparison outcome."""
+
+    __slots__ = ("name", "baseline", "current", "status", "note")
+
+    def __init__(self, name: str, baseline: Any, current: Any,
+                 status: str, note: str = ""):  # noqa: D107
+        self.name = name
+        self.baseline = baseline
+        self.current = current
+        self.status = status
+        self.note = note
+
+
+class BenchComparison:
+    """All metric outcomes of one bench pairing."""
+
+    __slots__ = ("bench", "status", "note", "metrics")
+
+    def __init__(self, bench: str, status: str, note: str = "",
+                 metrics: Optional[List[MetricResult]] = None):  # noqa: D107
+        self.bench = bench
+        self.status = status
+        self.note = note
+        self.metrics = metrics if metrics is not None else []
+
+    @property
+    def failed(self) -> bool:
+        """Whether this bench makes the gate fail."""
+        return self.status in _FAILING or \
+            any(m.status in _FAILING for m in self.metrics)
+
+
+def load_envelopes(directory: str) -> Dict[str, Dict[str, Any]]:
+    """``{bench name: envelope}`` for every ``BENCH_*.json`` in a dir.
+
+    Unreadable/unparsable files are skipped with a ``__errors__``
+    entry (list of messages) so the report can surface them.
+    """
+    envelopes: Dict[str, Dict[str, Any]] = {}
+    errors: List[str] = []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+            bench = doc["bench"]
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            errors.append(f"{os.path.basename(path)}: "
+                          f"{type(exc).__name__}: {exc}")
+            continue
+        envelopes[bench] = doc
+    if errors:
+        envelopes["__errors__"] = {"errors": errors}  # type: ignore
+    return envelopes
+
+
+def _compare_one(bench: str, base: Dict[str, Any],
+                 current: Dict[str, Any]) -> BenchComparison:
+    if base.get("schema_version") != current.get("schema_version"):
+        return BenchComparison(
+            bench, "schema",
+            f"schema_version {current.get('schema_version')!r} vs "
+            f"baseline {base.get('schema_version')!r}")
+    if base.get("mode") != current.get("mode"):
+        return BenchComparison(
+            bench, "skipped",
+            f"mode {current.get('mode')!r} vs baseline "
+            f"{base.get('mode')!r} — not comparable")
+    metrics: List[MetricResult] = []
+    for spec in _SPECS.get(bench, []):
+        base_val = spec.extract(base)
+        cur_val = spec.extract(current)
+        if base_val is None and cur_val is None:
+            continue
+        if base_val is None:
+            metrics.append(MetricResult(spec.name, None, cur_val, "new",
+                                        "no baseline value"))
+            continue
+        if cur_val is None:
+            metrics.append(MetricResult(spec.name, base_val, None,
+                                        "missing", "value disappeared"))
+            continue
+        status = spec.judge(base_val, cur_val)
+        note = ""
+        if spec.direction != "exact":
+            note = f"{spec.direction} is better, " \
+                   f"rel_tol {spec.rel_tol:.0%}"
+        metrics.append(MetricResult(spec.name, base_val, cur_val,
+                                    status, note))
+    return BenchComparison(bench, "compared", metrics=metrics)
+
+
+def compare_benches(results: Dict[str, Dict[str, Any]],
+                    baselines: Dict[str, Dict[str, Any]]
+                    ) -> List[BenchComparison]:
+    """Compare every baselined bench; order follows the baseline set.
+
+    Baseline benches missing from the results regress (a bench that
+    silently stopped running must not pass the gate); result benches
+    with no baseline report as ``new`` (informational).
+    """
+    comparisons: List[BenchComparison] = []
+    for bench in sorted(baselines):
+        if bench == "__errors__":
+            continue
+        if bench not in results:
+            comparisons.append(BenchComparison(
+                bench, "missing", "bench absent from results"))
+            continue
+        comparisons.append(_compare_one(bench, baselines[bench],
+                                        results[bench]))
+    for bench in sorted(results):
+        if bench != "__errors__" and bench not in baselines:
+            comparisons.append(BenchComparison(
+                bench, "new", "no baseline yet"))
+    for source, envelopes in (("results", results),
+                              ("baselines", baselines)):
+        for message in envelopes.get("__errors__", {}).get("errors", []):
+            comparisons.append(BenchComparison(
+                f"({source})", "schema", message))
+    return comparisons
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _delta(base: Any, current: Any) -> str:
+    try:
+        base_f, cur_f = float(base), float(current)
+    except (TypeError, ValueError):
+        return "—"
+    if isinstance(base, bool) or isinstance(current, bool) or base_f == 0:
+        return "—"
+    return f"{(cur_f - base_f) / abs(base_f):+.1%}"
+
+
+def render_markdown(comparisons: List[BenchComparison],
+                    results_dir: str, baselines_dir: str) -> str:
+    """The trend table CI uploads as an artifact."""
+    failed = [c.bench for c in comparisons if c.failed]
+    lines = [
+        "# Benchmark trend report",
+        "",
+        f"Results `{results_dir}` vs baselines `{baselines_dir}` — "
+        + ("**REGRESSED**: " + ", ".join(failed) if failed
+           else "all gates passed"),
+        "",
+        "| bench | metric | baseline | current | delta | status | note |",
+        "|---|---|---:|---:|---:|---|---|",
+    ]
+    for comp in comparisons:
+        if not comp.metrics:
+            lines.append(f"| {comp.bench} | — | — | — | — | "
+                         f"{comp.status} | {comp.note} |")
+            continue
+        for metric in comp.metrics:
+            lines.append(
+                f"| {comp.bench} | {metric.name} "
+                f"| {_fmt(metric.baseline)} | {_fmt(metric.current)} "
+                f"| {_delta(metric.baseline, metric.current)} "
+                f"| {metric.status} | {metric.note} |")
+    lines.append("")
+    lines.append("Deterministic metrics compare exactly; wall-clock "
+                 "ratios carry per-metric noise floors (see "
+                 "`src/repro/tools/benchreport.py`).")
+    return "\n".join(lines) + "\n"
+
+
+def run_benchreport(results_dir: str = "benchmarks/results",
+                    baselines_dir: str = "benchmarks/baselines",
+                    out_path: str = "") -> int:
+    """CLI/CI entry point: compare, write the table, gate on regressions.
+
+    Returns the process exit code: 0 when every gated metric held, 1 on
+    any regression, 2 when the baseline directory has no envelopes at
+    all (a misconfigured gate must fail loudly, not pass trivially).
+    """
+    results = load_envelopes(results_dir)
+    baselines = load_envelopes(baselines_dir)
+    if not any(b != "__errors__" for b in baselines):
+        print(f"benchreport: no BENCH_*.json baselines in "
+              f"{baselines_dir!r}", flush=True)
+        return 2
+    comparisons = compare_benches(results, baselines)
+    report = render_markdown(comparisons, results_dir, baselines_dir)
+    out_path = out_path or os.path.join(results_dir, "BENCHREPORT.md")
+    os.makedirs(os.path.dirname(os.path.abspath(out_path)), exist_ok=True)
+    with open(out_path, "w") as handle:
+        handle.write(report)
+    failed = [c.bench for c in comparisons if c.failed]
+    for comp in comparisons:
+        flags = [m for m in comp.metrics if m.status in _FAILING]
+        detail = "; ".join(f"{m.name}: {_fmt(m.baseline)} -> "
+                           f"{_fmt(m.current)}" for m in flags)
+        print(f"benchreport: {comp.bench}: "
+              f"{'REGRESSED ' + detail if flags else comp.status}"
+              + (f" ({comp.note})" if comp.note else ""))
+    print(f"benchreport: table -> {out_path}")
+    if failed:
+        print(f"benchreport: REGRESSED: {', '.join(failed)}")
+        return 1
+    print("benchreport: all gates passed")
+    return 0

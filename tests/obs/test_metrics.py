@@ -1,0 +1,219 @@
+"""Tests for the streaming metrics kinds and the Prometheus export.
+
+The load-bearing invariant: splitting one observation stream across
+per-chain registries and merging them back **in chain order** is
+bit-identical to observing the stream sequentially — the same
+workers=1 vs workers=N discipline the counter registry obeys.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    BYTE_BUCKETS,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    RollingGauge,
+    StatsCollisionError,
+    StatsRegistry,
+    parse_prometheus,
+    render_metrics_json,
+    render_prometheus,
+)
+
+#: A stream with exact-bound hits, overflow, zero and sub-bucket values.
+STREAM = [0.001, 0.0009, 5.0, 301.0, 0.25, 0.0, 0.013, 2.5, 64.2, 0.1]
+
+
+class TestHistogram:
+    def test_le_inclusive_bucketing(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 1]  # le=1.0, le=2.0, +Inf
+        assert hist.count == 5
+        assert hist.min == 0.5 and hist.max == 3.0
+        assert hist.sum == pytest.approx(8.0)
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_merge_requires_matching_bounds(self):
+        hist = Histogram(LATENCY_BUCKETS)
+        with pytest.raises(StatsCollisionError):
+            hist.merge(Histogram(BYTE_BUCKETS))
+
+    def test_split_merge_is_bit_identical_to_sequential(self):
+        # One worker observes the whole stream...
+        sequential = Histogram()
+        for value in STREAM:
+            sequential.observe(value)
+        # ...N chains observe contiguous shards, merged in chain order.
+        for n in (2, 3, 5):
+            shards = [Histogram() for _ in range(n)]
+            for i, value in enumerate(STREAM):
+                shards[i * n // len(STREAM)].observe(value)
+            merged = Histogram()
+            for shard in shards:
+                merged.merge(shard)
+            assert merged.snapshot() == sequential.snapshot()
+
+    def test_snapshot_round_trip(self):
+        hist = Histogram(bounds=(0.5, 2.0))
+        hist.observe(0.1)
+        hist.observe(9.0)
+        clone = Histogram.from_snapshot(
+            json.loads(json.dumps(hist.snapshot())))
+        assert clone.snapshot() == hist.snapshot()
+        clone.observe(1.0)  # still a live instrument
+        assert clone.count == hist.count + 1
+
+
+class TestRollingGauge:
+    def test_window_keeps_newest(self):
+        gauge = RollingGauge(window=3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            gauge.record(value)
+        assert gauge.samples == [2.0, 3.0, 4.0]
+        assert gauge.last == 4.0
+        assert gauge.count == 4
+        assert gauge.min == 1.0 and gauge.max == 4.0
+
+    def test_merge_concatenates_and_trims(self):
+        ours = RollingGauge(window=4)
+        theirs = RollingGauge(window=4)
+        for value in (1.0, 2.0, 3.0):
+            ours.record(value)
+        for value in (10.0, 11.0):
+            theirs.record(value)
+        ours.merge(theirs)
+        assert ours.samples == [2.0, 3.0, 10.0, 11.0]
+        assert ours.count == 5
+        with pytest.raises(StatsCollisionError):
+            ours.merge(RollingGauge(window=2))
+
+    def test_snapshot_round_trip(self):
+        gauge = RollingGauge(window=2)
+        gauge.record(7.5)
+        clone = RollingGauge.from_snapshot(
+            json.loads(json.dumps(gauge.snapshot())))
+        assert clone.snapshot() == gauge.snapshot()
+
+
+class TestMetricsRegistry:
+    def test_keys_must_be_namespaced(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.observe("nodots", 1.0)
+
+    def test_kind_and_parameter_collisions(self):
+        registry = MetricsRegistry()
+        registry.observe("serve.t", 1.0)
+        with pytest.raises(StatsCollisionError):
+            registry.rolling("serve.t")
+        with pytest.raises(StatsCollisionError):
+            registry.histogram("serve.t", bounds=(1.0, 2.0))
+        registry.record("serve.bytes", 10.0)
+        with pytest.raises(StatsCollisionError):
+            registry.histogram("serve.bytes")
+        with pytest.raises(StatsCollisionError):
+            registry.rolling("serve.bytes", window=9)
+
+    def test_registry_split_merge_matches_sequential(self):
+        sequential = MetricsRegistry()
+        for value in STREAM:
+            sequential.observe("serve.job_seconds", value)
+            sequential.record("serve.bytes", value * 100, window=4)
+        shards = [MetricsRegistry() for _ in range(3)]
+        for i, value in enumerate(STREAM):
+            shard = shards[i * 3 // len(STREAM)]
+            shard.observe("serve.job_seconds", value)
+            shard.record("serve.bytes", value * 100, window=4)
+        merged = MetricsRegistry()
+        for shard in shards:
+            # transport form, as chain outcomes ship it back
+            merged.merge(MetricsRegistry.from_snapshot(
+                json.loads(json.dumps(shard.snapshot()))))
+        assert merged.snapshot() == sequential.snapshot()
+
+    def test_merge_kind_mismatch_raises(self):
+        ours = MetricsRegistry()
+        ours.observe("serve.x", 1.0)
+        theirs = MetricsRegistry()
+        theirs.record("serve.x", 1.0)
+        with pytest.raises(StatsCollisionError):
+            ours.merge(theirs)
+        with pytest.raises(StatsCollisionError):
+            theirs.merge(ours)
+
+
+class TestPrometheusExport:
+    def _populated(self):
+        stats = StatsRegistry()
+        stats.count("serve.jobs", 3)
+        stats.gauge("serve.cache_bytes", 1536.5)
+        metrics = MetricsRegistry()
+        for value in STREAM:
+            metrics.observe("serve.job_seconds", value)
+        metrics.record("serve.cache_bytes_recent", 2048.0)
+        return stats, metrics
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        _, metrics = self._populated()
+        text = render_prometheus(None, metrics)
+        parsed = parse_prometheus(text)
+        family = parsed["repro_serve_job_seconds"]
+        assert family["type"] == "histogram"
+        samples = family["samples"]
+        inf = samples[("repro_serve_job_seconds_bucket", "+Inf")]
+        assert inf == len(STREAM)
+        assert samples["repro_serve_job_seconds_count"] == len(STREAM)
+        assert samples["repro_serve_job_seconds_sum"] == \
+            pytest.approx(sum(STREAM))
+        # cumulative: counts never decrease along the bounds
+        cumulative = [samples[("repro_serve_job_seconds_bucket", le)]
+                      for le in ("0.001", "0.1", "300", "+Inf")]
+        assert cumulative == sorted(cumulative)
+        # le is inclusive: the exact 0.001 observation is inside le=0.001
+        assert cumulative[0] == 3  # 0.001, 0.0009 and 0.0
+
+    def test_counter_and_gauge_types(self):
+        stats, metrics = self._populated()
+        parsed = parse_prometheus(render_prometheus(stats, metrics))
+        assert parsed["repro_serve_jobs"]["type"] == "counter"
+        assert parsed["repro_serve_cache_bytes"]["type"] == "gauge"
+        assert parsed["repro_serve_cache_bytes_recent"]["type"] == "gauge"
+        samples = parsed["repro_serve_cache_bytes_recent"]["samples"]
+        assert samples["repro_serve_cache_bytes_recent"] == 2048.0
+        assert samples["repro_serve_cache_bytes_recent_min"] == 2048.0
+
+    def test_round_trip_preserves_every_value(self):
+        stats, metrics = self._populated()
+        text = render_prometheus(stats, metrics)
+        parsed = parse_prometheus(text)
+        total = sum(len(family["samples"]) for family in parsed.values())
+        # every non-comment line survived the parse
+        payload_lines = [line for line in text.splitlines()
+                         if line and not line.startswith("#")]
+        assert total == len(payload_lines)
+        for family in parsed.values():
+            for value in family["samples"].values():
+                assert math.isfinite(value)
+
+    def test_json_document_shape(self):
+        stats, metrics = self._populated()
+        doc = json.loads(render_metrics_json(stats, metrics,
+                                             {"command": "serve"}))
+        assert doc["schema_version"] == 1
+        assert doc["command"] == "serve"
+        assert doc["counters"]["serve.jobs"] == 3
+        assert doc["counter_kinds"]["serve.jobs"] == "count"
+        instrument = doc["instruments"]["serve.job_seconds"]
+        assert instrument["kind"] == "hist"
+        assert instrument["count"] == len(STREAM)

@@ -102,3 +102,108 @@ class TestServeCommand:
         assert events
         job_spans = [e for e in events if e.get("name") == "job"]
         assert {span["attrs"]["id"] for span in job_spans} == {"a", "b"}
+
+
+class TestServeTelemetry:
+    """--status-file / --metrics-out / --slow-job-s are side channels:
+    they may not change one result byte, and the final heartbeat must
+    agree with the summary."""
+
+    JOBS4 = (
+        '{"id": "a0", "cmd": "ksweep", "source": "spla@0.01", '
+        '"rows": 12, "k": [0.0, 0.005]}\n'
+        '{"id": "b0", "cmd": "ksweep", "source": "spla@0.01", '
+        '"rows": 13, "k": [0.0]}\n'
+        '{"id": "a1", "cmd": "ksweep", "source": "spla@0.01", '
+        '"rows": 12, "k": [0.0]}\n'
+        '{"id": "b1", "cmd": "ksweep", "source": "spla@0.01", '
+        '"rows": 13, "k": [0.005]}\n')
+
+    def _run(self, tmp_path, tag, extra):
+        jobs = tmp_path / "jobs.jsonl"
+        if not jobs.exists():
+            jobs.write_text(self.JOBS4)
+        out = tmp_path / f"results_{tag}.jsonl"
+        rc = main(["serve", str(jobs), "-o", str(out)] + extra)
+        assert rc == 0
+        return out.read_bytes()
+
+    @pytest.mark.parametrize("serve_workers", ["1", "4"])
+    def test_result_bytes_unchanged_by_telemetry(self, tmp_path,
+                                                 serve_workers):
+        plain = self._run(tmp_path, f"plain{serve_workers}",
+                          ["--serve-workers", serve_workers])
+        status = tmp_path / f"status{serve_workers}.json"
+        metrics = tmp_path / f"metrics{serve_workers}.prom"
+        instrumented = self._run(
+            tmp_path, f"obs{serve_workers}",
+            ["--serve-workers", serve_workers,
+             "--status-file", str(status),
+             "--metrics-out", str(metrics),
+             "--slow-job-s", "0.000001"])
+        assert instrumented == plain
+        assert status.exists() and metrics.exists()
+
+    def test_final_heartbeat_matches_summary(self, tmp_path):
+        status = tmp_path / "status.json"
+        summary_path = tmp_path / "summary.json"
+        self._run(tmp_path, "hb",
+                  ["--status-file", str(status),
+                   "--summary", str(summary_path),
+                   "--slow-job-s", "0.000001"])
+        heartbeat = json.loads(status.read_text())
+        summary = json.loads(summary_path.read_text())
+        assert heartbeat["state"] == "done"
+        assert heartbeat["jobs_done"] == summary["jobs"] == 4
+        assert heartbeat["ok"] == summary["ok"] == 4
+        assert heartbeat["failed"] == summary["jobs"] - summary["ok"]
+        assert heartbeat["slow_jobs"] == summary["slow_jobs"] == 4
+        assert heartbeat["jobs_total"] == 4
+        assert heartbeat["cache"] == summary["cache"]
+        hist = heartbeat["instruments"]["serve.job_seconds"]
+        assert hist["kind"] == "hist" and hist["count"] == 4
+
+    def test_metrics_out_renders_prometheus_and_json(self, tmp_path):
+        from repro.obs import parse_prometheus
+        metrics = tmp_path / "metrics.prom"
+        self._run(tmp_path, "prom", ["--metrics-out", str(metrics)])
+        parsed = parse_prometheus(metrics.read_text())
+        job_seconds = parsed["repro_serve_job_seconds"]
+        assert job_seconds["type"] == "histogram"
+        assert job_seconds["samples"]["repro_serve_job_seconds_count"] == 4
+        assert parsed["repro_serve_jobs_done"]["samples"][
+            "repro_serve_jobs_done"] == 4
+        doc = json.loads((tmp_path / "metrics.prom.json").read_text())
+        assert doc["counters"]["serve.jobs_done"] == 4
+        assert doc["instruments"]["serve.job_seconds"]["count"] == 4
+
+    def test_follow_subcommand_drains_results(self, tmp_path, capsys):
+        self._run(tmp_path, "follow", [])
+        results = tmp_path / "results_follow.jsonl"
+        rc = main(["follow", str(results), "--timeout", "0.2",
+                   "--poll", "0.02"])
+        captured = capsys.readouterr()
+        assert rc == 1  # results stream has no end marker: timeout
+        ids = [json.loads(line)["id"]
+               for line in captured.out.splitlines()]
+        assert ids == ["a0", "b0", "a1", "b1"]
+        assert "(timeout)" in captured.err
+
+    def test_follow_subcommand_ends_on_final_heartbeat(self, tmp_path,
+                                                       capsys):
+        status = tmp_path / "status.json"
+        self._run(tmp_path, "hb2", ["--status-file", str(status)])
+        rc = main(["follow", str(status), "--timeout", "5"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert json.loads(captured.out.splitlines()[-1])["state"] == "done"
+        assert "(end)" in captured.err
+
+    def test_follow_count_flag(self, tmp_path, capsys):
+        self._run(tmp_path, "cnt", [])
+        results = tmp_path / "results_cnt.jsonl"
+        rc = main(["follow", str(results), "--timeout", "5",
+                   "--count", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert len(captured.out.splitlines()) == 2

@@ -1,0 +1,146 @@
+"""Tests for the live-status plumbing: atomic heartbeats and follow."""
+
+import json
+import os
+import threading
+import time
+
+from repro.serve import (
+    STATUS_SCHEMA_VERSION,
+    StatusWriter,
+    follow,
+    is_end_marker,
+    write_atomic_json,
+)
+
+
+def _doc(jobs_done, state="running", **extra):
+    doc = {"schema_version": STATUS_SCHEMA_VERSION, "event": "status",
+           "state": state, "jobs_done": jobs_done}
+    doc.update(extra)
+    return doc
+
+
+class TestAtomicWrites:
+    def test_write_is_one_complete_json_line(self, tmp_path):
+        path = tmp_path / "sub" / "status.json"
+        write_atomic_json(str(path), _doc(1))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["jobs_done"] == 1
+
+    def test_replacement_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "status.json"
+        for i in range(5):
+            write_atomic_json(str(path), _doc(i))
+        assert os.listdir(tmp_path) == ["status.json"]
+        assert json.loads(path.read_text())["jobs_done"] == 4
+
+
+class TestStatusWriter:
+    def test_every_jobs_throttle(self, tmp_path):
+        writer = StatusWriter(str(tmp_path / "s.json"), every_jobs=3)
+        wrote = [writer.update(_doc(i)) for i in range(10)]
+        # first write, then every 3rd finished job
+        assert wrote == [True, False, False, True, False, False, True,
+                         False, False, True]
+        assert writer.writes == 4
+
+    def test_force_always_writes(self, tmp_path):
+        writer = StatusWriter(str(tmp_path / "s.json"), every_jobs=100)
+        assert writer.update(_doc(0))
+        assert not writer.update(_doc(1))
+        assert writer.update(_doc(1, state="done"), force=True)
+        assert json.loads((tmp_path / "s.json").read_text())["state"] == \
+            "done"
+
+    def test_elapsed_seconds_throttle(self, tmp_path):
+        writer = StatusWriter(str(tmp_path / "s.json"), every_jobs=100,
+                              every_s=0.05)
+        assert writer.update(_doc(0))
+        assert not writer.update(_doc(0))
+        time.sleep(0.06)
+        assert writer.update(_doc(0))
+
+    def test_on_write_hook_fires_per_actual_write(self, tmp_path):
+        seen = []
+        writer = StatusWriter(str(tmp_path / "s.json"), every_jobs=2)
+        writer.on_write = lambda doc: seen.append(doc["jobs_done"])
+        for i in range(4):
+            writer.update(_doc(i))
+        assert seen == [0, 2]
+
+
+class TestEndMarker:
+    def test_done_state_and_end_event(self):
+        assert is_end_marker(json.dumps(_doc(3, state="done")))
+        assert is_end_marker('{"event": "end"}')
+        assert not is_end_marker(json.dumps(_doc(3)))
+        assert not is_end_marker("not json at all")
+        assert not is_end_marker('["state", "done"]')
+
+
+class TestFollow:
+    def test_drains_existing_file_then_times_out(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"id": "a"}\n{"id": "b"}\n')
+        lines = []
+        delivered, reason = follow(str(path), lines.append,
+                                   timeout_s=0.2, poll_s=0.02)
+        assert (delivered, reason) == (2, "timeout")
+        assert [json.loads(line)["id"] for line in lines] == ["a", "b"]
+
+    def test_terminates_on_end_marker(self, tmp_path):
+        path = tmp_path / "status.json"
+        write_atomic_json(str(path), _doc(5, state="done"))
+        delivered, reason = follow(str(path), lambda line: None,
+                                   timeout_s=5.0, poll_s=0.02)
+        assert (delivered, reason) == (1, "end")
+
+    def test_terminates_on_count(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"id": "a"}\n{"id": "b"}\n{"id": "c"}\n')
+        delivered, reason = follow(str(path), lambda line: None,
+                                   timeout_s=5.0, poll_s=0.02, count=2)
+        assert (delivered, reason) == (2, "count")
+
+    def test_sees_growth_and_atomic_replacement(self, tmp_path):
+        """A writer thread appends, then atomically replaces: the
+        follower must deliver every complete line and stop on the
+        final done heartbeat (new inode via os.replace)."""
+        path = tmp_path / "stream.jsonl"
+
+        def writer():
+            with open(path, "a") as handle:
+                for i in range(3):
+                    handle.write(json.dumps({"id": i}) + "\n")
+                    handle.flush()
+                    time.sleep(0.03)
+            time.sleep(0.03)
+            write_atomic_json(str(path), _doc(3, state="done"))
+
+        lines = []
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            delivered, reason = follow(str(path), lines.append,
+                                       timeout_s=5.0, poll_s=0.01)
+        finally:
+            thread.join()
+        assert reason == "end"
+        assert json.loads(lines[-1])["state"] == "done"
+
+    def test_missing_file_times_out(self, tmp_path):
+        delivered, reason = follow(str(tmp_path / "never.jsonl"),
+                                   lambda line: None,
+                                   timeout_s=0.1, poll_s=0.02)
+        assert (delivered, reason) == (0, "timeout")
+
+    def test_unterminated_final_line_flushes_at_timeout(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"id": "a"}\n{"id": "tail"}')  # no newline
+        lines = []
+        delivered, reason = follow(str(path), lines.append,
+                                   timeout_s=0.2, poll_s=0.02)
+        assert delivered == 2
+        assert json.loads(lines[-1])["id"] == "tail"

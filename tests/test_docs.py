@@ -5,7 +5,9 @@ Two guarantees keep the docs site honest:
 1. Every fenced ``jsonl`` / ``jsonl-invalid`` / ``jsonl-result`` block
    in ``docs/`` runs through the real serve parser — valid examples
    must validate, invalid examples must be rejected, result examples
-   must carry exactly the documented fields.
+   must carry exactly the documented fields — and every fenced
+   ``json-status`` block must be a valid heartbeat of the current
+   schema version.
 2. Every relative markdown link (and intra-repo anchor) in ``docs/``,
    ``README.md`` and ``DESIGN.md`` resolves to a real file / heading.
 """
@@ -16,7 +18,12 @@ import re
 
 import pytest
 
-from repro.serve import JobError, parse_jobs
+from repro.serve import (
+    STATUS_SCHEMA_VERSION,
+    JobError,
+    is_end_marker,
+    parse_jobs,
+)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS_DIR = os.path.join(REPO_ROOT, "docs")
@@ -36,6 +43,12 @@ _HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*$", re.MULTILINE)
 RESULT_REQUIRED = {"id", "cmd", "source", "ok", "verdict", "chosen_k",
                    "rows"}
 RESULT_OPTIONAL = {"error"}
+
+#: The documented heartbeat fields (ServeEngine.heartbeat()).
+STATUS_REQUIRED = {"schema_version", "event", "state", "pid", "t_unix",
+                   "jobs_total", "jobs_done", "ok", "failed",
+                   "in_flight_chains", "slow_jobs", "serve_workers",
+                   "cache", "cache_hit_rates", "instruments", "last_job"}
 
 
 def _blocks(path, language):
@@ -102,6 +115,27 @@ class TestJobExamples:
                     assert len(row) == 5
                 # The byte-stability contract: sorted keys.
                 assert line == json.dumps(data, sort_keys=True)
+
+    @pytest.mark.parametrize("path", _doc_paths(),
+                             ids=[os.path.basename(p)
+                                  for p in _doc_paths()])
+    def test_status_examples_match_heartbeat_schema(self, path):
+        for block in _blocks(path, "json-status"):
+            for line in block.strip().splitlines():
+                data = json.loads(line)
+                assert STATUS_REQUIRED <= set(data), \
+                    f"missing {STATUS_REQUIRED - set(data)}: {line}"
+                assert data["schema_version"] == STATUS_SCHEMA_VERSION
+                assert data["event"] == "status"
+                assert data["state"] in ("running", "done")
+                assert data["failed"] == data["jobs_done"] - data["ok"]
+                # the follow end-marker rule matches the documentation
+                assert is_end_marker(line) == (data["state"] == "done")
+
+    def test_observability_page_has_examples(self):
+        page = os.path.join(DOCS_DIR, "observability.md")
+        assert _blocks(page, "json-status")
+        assert _blocks(page, "jsonl")
 
 
 class TestLinks:

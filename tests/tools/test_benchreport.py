@@ -1,0 +1,191 @@
+"""Tests for the bench-regression reporter behind ``repro benchreport``.
+
+The gate contract: pristine copies of the baselines pass, a
+synthetically perturbed envelope (broken determinism or a big
+throughput drop) fails, a smoke-vs-full mode mismatch skips instead of
+comparing apples to oranges, and a bench that silently stopped running
+fails.
+"""
+
+import copy
+import json
+import os
+
+from repro.cli import main
+from repro.tools import (
+    compare_benches,
+    load_envelopes,
+    run_benchreport,
+)
+
+SERVE = {
+    "schema_version": 1,
+    "bench": "serve",
+    "mode": "smoke",
+    "jobs": 12,
+    "speedup": 3.2,
+    "serve_jobs_per_sec": 1.5,
+    "identical_rows": True,
+    "parallel": {"identical_rows": True, "parallel_speedup": 1.3,
+                 "pool_fallbacks": 0},
+}
+
+KSEARCH = {
+    "schema_version": 1,
+    "bench": "ksearch",
+    "mode": "smoke",
+    "identity": {"matches": True},
+    "rows": [
+        {"strategy": "grid", "evaluations": 14, "chosen_k": 0.5},
+        {"strategy": "bisect", "evaluations": 5, "chosen_k": 0.5},
+        {"strategy": "portfolio", "evaluations": 7, "chosen_k": 0.5},
+    ],
+}
+
+
+def _write_dir(path, *envelopes):
+    os.makedirs(path, exist_ok=True)
+    for env in envelopes:
+        with open(os.path.join(path, f"BENCH_{env['bench']}.json"),
+                  "w") as handle:
+            json.dump(env, handle)
+    return str(path)
+
+
+class TestComparisons:
+    def test_pristine_copy_passes(self, tmp_path):
+        base = _write_dir(tmp_path / "base", SERVE, KSEARCH)
+        res = _write_dir(tmp_path / "res", SERVE, KSEARCH)
+        comps = compare_benches(load_envelopes(res), load_envelopes(base))
+        assert not any(c.failed for c in comps)
+        assert {c.bench for c in comps} == {"ksearch", "serve"}
+
+    def test_broken_determinism_regresses(self, tmp_path):
+        perturbed = copy.deepcopy(SERVE)
+        perturbed["identical_rows"] = False
+        base = _write_dir(tmp_path / "base", SERVE)
+        res = _write_dir(tmp_path / "res", perturbed)
+        comps = compare_benches(load_envelopes(res), load_envelopes(base))
+        (comp,) = comps
+        assert comp.failed
+        flagged = {m.name for m in comp.metrics if m.status == "regressed"}
+        assert flagged == {"identical_rows"}
+
+    def test_throughput_noise_floor(self, tmp_path):
+        # -40% is inside the 50% floor; -80% is not.
+        wobble = copy.deepcopy(SERVE)
+        wobble["speedup"] = SERVE["speedup"] * 0.6
+        crash = copy.deepcopy(SERVE)
+        crash["speedup"] = SERVE["speedup"] * 0.2
+        base = _write_dir(tmp_path / "base", SERVE)
+        ok = compare_benches(
+            load_envelopes(_write_dir(tmp_path / "ok", wobble)),
+            load_envelopes(base))
+        bad = compare_benches(
+            load_envelopes(_write_dir(tmp_path / "bad", crash)),
+            load_envelopes(base))
+        assert not ok[0].failed
+        assert bad[0].failed
+
+    def test_faster_is_never_a_regression(self, tmp_path):
+        faster = copy.deepcopy(SERVE)
+        faster["speedup"] = SERVE["speedup"] * 10
+        comps = compare_benches(
+            load_envelopes(_write_dir(tmp_path / "res", faster)),
+            load_envelopes(_write_dir(tmp_path / "base", SERVE)))
+        assert not comps[0].failed
+
+    def test_mode_mismatch_skips(self, tmp_path):
+        full = copy.deepcopy(SERVE)
+        full["mode"] = "full"
+        full["speedup"] = 0.01  # would regress hard if compared
+        comps = compare_benches(
+            load_envelopes(_write_dir(tmp_path / "res", full)),
+            load_envelopes(_write_dir(tmp_path / "base", SERVE)))
+        (comp,) = comps
+        assert comp.status == "skipped"
+        assert not comp.failed
+
+    def test_missing_bench_fails_new_bench_informs(self, tmp_path):
+        base = _write_dir(tmp_path / "base", SERVE, KSEARCH)
+        res = _write_dir(tmp_path / "res", KSEARCH)  # serve vanished
+        comps = compare_benches(load_envelopes(res), load_envelopes(base))
+        by_bench = {c.bench: c for c in comps}
+        assert by_bench["serve"].status == "missing"
+        assert by_bench["serve"].failed
+        extra = copy.deepcopy(SERVE)
+        extra["bench"] = "brandnew"
+        res2 = _write_dir(tmp_path / "res2", SERVE, KSEARCH, extra)
+        comps2 = compare_benches(load_envelopes(res2),
+                                 load_envelopes(base))
+        by_bench2 = {c.bench: c for c in comps2}
+        assert by_bench2["brandnew"].status == "new"
+        assert not by_bench2["brandnew"].failed
+
+    def test_schema_version_mismatch_fails(self, tmp_path):
+        v2 = copy.deepcopy(SERVE)
+        v2["schema_version"] = 2
+        comps = compare_benches(
+            load_envelopes(_write_dir(tmp_path / "res", v2)),
+            load_envelopes(_write_dir(tmp_path / "base", SERVE)))
+        assert comps[0].status == "schema"
+        assert comps[0].failed
+
+    def test_ksearch_evaluation_counts_are_exact(self, tmp_path):
+        drift = copy.deepcopy(KSEARCH)
+        drift["rows"][1]["evaluations"] = 6  # bisect did extra work
+        comps = compare_benches(
+            load_envelopes(_write_dir(tmp_path / "res", drift)),
+            load_envelopes(_write_dir(tmp_path / "base", KSEARCH)))
+        flagged = {m.name for m in comps[0].metrics
+                   if m.status == "regressed"}
+        assert flagged == {"bisect.evaluations"}
+
+
+class TestRunner:
+    def test_writes_table_and_exit_codes(self, tmp_path, capsys):
+        base = _write_dir(tmp_path / "base", SERVE)
+        res = _write_dir(tmp_path / "res", SERVE)
+        out = tmp_path / "trend.md"
+        assert run_benchreport(res, base, str(out)) == 0
+        table = out.read_text()
+        assert "| serve | speedup " in table
+        assert "all gates passed" in table
+        perturbed = copy.deepcopy(SERVE)
+        perturbed["identical_rows"] = False
+        res_bad = _write_dir(tmp_path / "res_bad", perturbed)
+        assert run_benchreport(res_bad, base, str(out)) == 1
+        assert "**REGRESSED**" in out.read_text()
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_empty_baselines_fail_loudly(self, tmp_path, capsys):
+        res = _write_dir(tmp_path / "res", SERVE)
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert run_benchreport(res, str(empty),
+                               str(tmp_path / "t.md")) == 2
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_default_out_path_lands_in_results_dir(self, tmp_path):
+        base = _write_dir(tmp_path / "base", SERVE)
+        res = _write_dir(tmp_path / "res", SERVE)
+        assert run_benchreport(res, base) == 0
+        assert os.path.exists(os.path.join(res, "BENCHREPORT.md"))
+
+    def test_cli_subcommand_round_trip(self, tmp_path, capsys):
+        base = _write_dir(tmp_path / "base", SERVE, KSEARCH)
+        res = _write_dir(tmp_path / "res", SERVE, KSEARCH)
+        out = tmp_path / "trend.md"
+        rc = main(["benchreport", "--results", res, "--baselines", base,
+                   "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "all gates passed" in capsys.readouterr().out
+
+    def test_unparsable_envelope_fails(self, tmp_path):
+        base = _write_dir(tmp_path / "base", SERVE)
+        res = _write_dir(tmp_path / "res", SERVE)
+        with open(os.path.join(res, "BENCH_broken.json"), "w") as handle:
+            handle.write("{not json")
+        comps = compare_benches(load_envelopes(res), load_envelopes(base))
+        assert any(c.status == "schema" and c.failed for c in comps)
